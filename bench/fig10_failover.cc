@@ -1,0 +1,184 @@
+// Fig. 10: PAINTER fails over between paths during PoP failure at RTT
+// timescales, while anycast takes ~1 s to regain reachability and ~15 s to
+// converge, and DNS would take a TTL (~60 s).
+//
+// Left axis: RTT per prefix over time with PAINTER's chosen path.
+// Right axis: BGP update churn after the withdrawal (from the convergence
+// dynamics model running on a generated topology).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bgpsim/dynamics.h"
+#include "bgpsim/session_sim.h"
+#include "tm/failover_scenario.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace painter;
+
+  util::PrintFigureHeader(
+      std::cout, "Figure 10",
+      "Failover during PoP failure: PAINTER switches paths in ~1 RTT; anycast "
+      "needs ~1 s to regain reachability and ~15 s to converge; DNS needs a "
+      "TTL (60 s).");
+
+  // --- Packet-level failover timeline. ---
+  tm::FailoverScenarioConfig cfg;
+  const auto result = tm::RunFailoverScenario(cfg);
+
+  std::cout << "Tunnels:\n";
+  for (std::size_t i = 0; i < result.tunnel_names.size(); ++i) {
+    std::cout << "  [" << i << "] " << result.tunnel_names[i] << "\n";
+  }
+  std::cout << "\nTimeline (sampled every 4 s around the failure at t=60):\n";
+  util::Table table{{"t (s)", "chosen", "anycast RTT", "2.2.2.0/24 RTT",
+                     "3.3.3.0/24 RTT"}};
+  for (const auto& s : result.samples) {
+    const bool near_failure = s.t >= 52.0 && s.t <= 84.0;
+    if (!near_failure && static_cast<int>(s.t) % 16 != 0) continue;
+    if (near_failure && (s.t - std::floor(s.t)) > 0.26 &&
+        static_cast<int>(s.t * 2) % 8 != 0) {
+      continue;
+    }
+    auto fmt = [](const std::optional<double>& v) {
+      return v.has_value() ? util::Table::Num(*v, 1) : std::string{"DOWN"};
+    };
+    table.AddRow({util::Table::Num(s.t, 1),
+                  s.chosen >= 0 ? result.tunnel_names[s.chosen] : "-",
+                  fmt(s.rtt_ms[0]), fmt(s.rtt_ms[1]), fmt(s.rtt_ms[2])});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPAINTER failover: detected PoP-A loss and switched to "
+            << (result.failover_target >= 0
+                    ? result.tunnel_names[result.failover_target]
+                    : std::string{"<none>"})
+            << " in " << util::Table::Num(result.detection_delay_s * 1000.0, 1)
+            << " ms after the failure.\n";
+
+  // --- Detection-delay distribution over jittered trials (§5.2.3 text:
+  // "typically detected failure within 1.3 RTTs"). ---
+  std::vector<double> detections;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    tm::FailoverScenarioConfig trial = cfg;
+    trial.run_for_s = 70.0;
+    trial.edge.seed = seed;
+    const auto r = tm::RunFailoverScenario(trial);
+    if (r.detection_delay_s >= 0) {
+      detections.push_back(r.detection_delay_s * 1000.0);
+    }
+  }
+  const double rtt_ms = 2.0 * cfg.chosen_delay_s * 1000.0;
+  std::cout << "\nDetection delay over " << detections.size()
+            << " trials: median " << util::Table::Num(util::Median(detections), 1)
+            << " ms (" << util::Table::Num(util::Median(detections) / rtt_ms, 2)
+            << " RTT), p95 "
+            << util::Table::Num(util::Percentile(detections, 95.0), 1)
+            << " ms. Probe interval " << cfg.edge.probe_interval_s * 1000.0
+            << " ms, path RTT " << rtt_ms << " ms.\n";
+
+  // --- BGP churn after the withdrawal (right axis of Fig. 10). ---
+  auto w = bench::MakeBenchWorld(42, 600, 10);
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
+  // Withdraw everything at the busiest PoP (PoP-A's failure).
+  const util::PopId dead_pop = w.deployment->pops().front().id;
+  bgpsim::Announcement before{util::PrefixId{0}, w.deployment->cloud_as(), {}};
+  bgpsim::Announcement after = before;
+  for (const auto& sess : w.deployment->peerings()) {
+    before.to_neighbors.push_back(sess.peer);
+    if (sess.pop != dead_pop) after.to_neighbors.push_back(sess.peer);
+  }
+  bgpsim::BgpEngine engine{w.internet().graph};
+  util::Rng rng{7};
+  const auto trace = bgpsim::SimulateWithdrawal(
+      engine, before, after, w.deployment->ugs().front().as,
+      bgpsim::ConvergenceParams{}, rng);
+
+  // Bin updates per 2 s window.
+  std::cout << "\nBGP updates after withdrawal (RIPE-RIS-style churn):\n";
+  util::Table churn{{"window (s)", "updates"}};
+  double window = 2.0;
+  std::size_t idx = 0;
+  for (double t0 = 0.0; t0 < trace.converged_seconds + window; t0 += window) {
+    std::size_t count = 0;
+    while (idx < trace.events.size() &&
+           trace.events[idx].time_seconds < t0 + window) {
+      count += trace.events[idx].updates;
+      ++idx;
+    }
+    churn.AddRow({util::Table::Num(t0, 0) + "-" + util::Table::Num(t0 + window, 0),
+                  std::to_string(count)});
+  }
+  churn.Print(std::cout);
+  std::cout << "\nAnycast converged after "
+            << util::Table::Num(trace.converged_seconds, 1)
+            << " s of path exploration.\n";
+
+  // --- The same withdrawal replayed at the BGP message level: real UPDATE /
+  // WITHDRAW processing with Adj-RIB-In, loop prevention, and MRAI pacing
+  // (bgpsim::MessageLevelSim, cross-validated against the static engine). ---
+  {
+    netsim::Simulator bgp_sim;
+    bgpsim::MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(),
+                                 bgp_sim,
+                                 {.hop_delay_s = 0.15, .mrai_s = 3.0, .seed = 11}};
+    // Deduplicate neighbor lists (session -> AS is many-to-one).
+    auto unique_ases = [](const std::vector<util::AsId>& in) {
+      std::vector<util::AsId> out = in;
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    };
+    const auto all_ases = unique_ases(before.to_neighbors);
+    // The failed PoP hosts the cloud's transit-provider sessions (the Fig. 1
+    // scenario: the well-connected path dies); their withdrawal forces every
+    // AS that routed through a provider onto peer-learned paths — real path
+    // exploration, visible as MRAI-paced message waves.
+    std::vector<util::AsId> dropped;
+    for (const auto pid : w.deployment->TransitPeerings()) {
+      dropped.push_back(w.deployment->peering(pid).peer);
+    }
+    dropped = unique_ases(dropped);
+    msim.Announce(all_ases);
+    bgp_sim.Run(1e6);
+    const auto baseline = msim.ChurnLog().size();
+    const double t0 = bgp_sim.Now();
+    msim.Withdraw(dropped);
+    bgp_sim.Run(t0 + 120.0);
+
+    util::Table mchurn{{"window (s)", "messages"}};
+    std::size_t idx2 = baseline;
+    const auto& log = msim.ChurnLog();
+    double last = t0;
+    for (std::size_t i = baseline; i < log.size(); ++i) {
+      last = std::max(last, log[i].first);
+    }
+    for (double w0 = 0.0; t0 + w0 < last + 2.0; w0 += 2.0) {
+      std::size_t count = 0;
+      while (idx2 < log.size() && log[idx2].first < t0 + w0 + 2.0) {
+        count += log[idx2].second;
+        ++idx2;
+      }
+      mchurn.AddRow({util::Table::Num(w0, 0) + "-" + util::Table::Num(w0 + 2, 0),
+                     std::to_string(count)});
+    }
+    std::cout << "\nMessage-level BGP replay of the withdrawal (UPDATE/"
+                 "WITHDRAW with MRAI pacing):\n";
+    mchurn.Print(std::cout);
+    std::cout << "Messages processed during reconvergence: "
+              << msim.MessagesProcessed() << "; quiet after "
+              << util::Table::Num(last - t0, 1)
+              << " s. (With full Adj-RIB-In retention each AS flips to its "
+                 "pre-learned alternate in one step; the longer RIS tail in "
+                 "the analytic model reflects the per-prefix path hunting "
+                 "real routers exhibit at Internet scale.)\n";
+  }
+  std::cout << "\nAvailability gap comparison: PAINTER "
+            << util::Table::Num(result.detection_delay_s * 1000.0, 0)
+            << " ms | anycast ~" << util::Table::Num(
+                   cfg.anycast_unreachable_s * 1000.0, 0)
+            << " ms | DNS ~60000 ms (TTL).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 11: path diversity and failure avoidance, PAINTER vs SD-WAN
+// multihoming. (a) CDFs of the per-UG difference in exposed paths (lower
+// bound: one per compliant peering at regional PoPs; upper bound: all
+// policy-compliant paths) and nearby PoPs. (b) CDF of the fraction of
+// default-path ASes each solution can route around.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/resilience.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace painter;
+
+  util::PrintFigureHeader(
+      std::cout, "Figure 11",
+      "Exposed paths / PoPs (PAINTER - SD-WAN) and intermediate-AS "
+      "avoidance.");
+
+  auto w = bench::AzureScaleWorld();
+  const core::ResilienceAnalyzer analyzer{w.internet(), *w.deployment,
+                                          *w.catalog};
+  const auto results = analyzer.AnalyzeAll();
+
+  util::EmpiricalCdf lb_diff, ub_diff, pop_diff, painter_avoid, sdwan_avoid;
+  std::size_t painter_more = 0, painter_all = 0, sdwan_all = 0;
+  util::Accumulator sdwan_paths;
+  for (const auto& r : results) {
+    lb_diff.Add(static_cast<double>(r.painter_paths_lb) -
+                static_cast<double>(r.sdwan_paths));
+    ub_diff.Add(static_cast<double>(r.painter_paths_ub) -
+                static_cast<double>(r.sdwan_paths));
+    pop_diff.Add(static_cast<double>(r.painter_pops) -
+                 static_cast<double>(r.sdwan_pops));
+    painter_avoid.Add(r.painter_avoid_frac);
+    sdwan_avoid.Add(r.sdwan_avoid_frac);
+    sdwan_paths.Add(static_cast<double>(r.sdwan_paths));
+    if (r.painter_paths_lb > r.sdwan_paths) ++painter_more;
+    if (r.painter_avoid_frac >= 1.0 - 1e-9) ++painter_all;
+    if (r.sdwan_avoid_frac >= 1.0 - 1e-9) ++sdwan_all;
+  }
+  const double n = static_cast<double>(results.size());
+
+  std::cout << "Fig. 11a — exposed path difference (PAINTER - SD-WAN):\n";
+  util::Table table{{"quantile", "best-paths diff (LB)",
+                     "all-paths diff (UB)", "PoPs diff"}};
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    table.AddRow({util::Table::Num(q, 2),
+                  util::Table::Num(lb_diff.Quantile(q), 0),
+                  util::Table::Num(ub_diff.Quantile(q), 0),
+                  util::Table::Num(pop_diff.Quantile(q), 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "SD-WAN paths per UG: mean "
+            << util::Table::Num(sdwan_paths.mean(), 1)
+            << " (paper: most networks have 2-3 ISPs).\n";
+  std::cout << "PAINTER exposes more paths than SD-WAN for "
+            << util::Table::Pct(painter_more / n)
+            << " of UGs; median extra paths "
+            << util::Table::Num(lb_diff.Quantile(0.5), 0)
+            << " (paper: >=23 more for most UGs).\n\n";
+
+  std::cout << "Fig. 11b — fraction of default-path ASes avoidable:\n";
+  util::Table avoid{{"quantile", "PAINTER", "SD-WAN"}};
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    avoid.AddRow({util::Table::Num(q, 2),
+                  util::Table::Num(painter_avoid.Quantile(q), 2),
+                  util::Table::Num(sdwan_avoid.Quantile(q), 2)});
+  }
+  avoid.Print(std::cout);
+  std::cout << "Avoid ALL default-path ASes: PAINTER "
+            << util::Table::Pct(painter_all / n) << " of UGs, SD-WAN "
+            << util::Table::Pct(sdwan_all / n)
+            << " (paper: 90.7% vs 69.5%).\n";
+  return 0;
+}

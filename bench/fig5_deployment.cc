@@ -1,0 +1,84 @@
+// Fig. 5 + §4: the deployment inventory. The paper's prototype spans 25
+// Vultr PoPs on 6 continents with ~5,000 neighbor ASes and ~9,000 ingresses;
+// Azure has ~200 PoPs and >4,000 peered networks, most connecting at one PoP.
+// This bench prints the same inventory for the two simulated worlds and
+// checks the "most networks connect at one PoP" skew.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace painter;
+
+void Describe(const char* name, const bench::BenchWorld& w) {
+  const auto& dep = *w.deployment;
+  const auto& metros = w.internet().metros;
+
+  std::set<std::uint32_t> neighbor_as;
+  std::map<std::uint32_t, std::size_t> pops_of_as;
+  for (const auto& sess : dep.peerings()) {
+    neighbor_as.insert(sess.peer.value());
+    ++pops_of_as[sess.peer.value()];
+  }
+  std::size_t single_pop = 0;
+  for (const auto& [as, pops] : pops_of_as) {
+    if (pops == 1) ++single_pop;
+  }
+
+  std::cout << name << ":\n";
+  util::Table t{{"metric", "value"}};
+  t.AddRow({"ASes in the internet", std::to_string(w.internet().graph.size())});
+  t.AddRow({"PoPs", std::to_string(dep.pops().size())});
+  t.AddRow({"peering sessions (ingresses)",
+            std::to_string(dep.peerings().size())});
+  t.AddRow({"distinct neighbor networks", std::to_string(neighbor_as.size())});
+  t.AddRow({"neighbors at exactly one PoP",
+            util::Table::Pct(static_cast<double>(single_pop) /
+                             static_cast<double>(neighbor_as.size()))});
+  t.AddRow({"transit-provider sessions",
+            std::to_string(dep.TransitPeerings().size())});
+  t.AddRow({"user groups", std::to_string(dep.ugs().size())});
+  t.AddRow({"compliant ingresses per UG (mean)",
+            util::Table::Num(w.catalog->MeanCompliantPerUg(), 1)});
+  t.Print(std::cout);
+
+  // Continental spread of PoPs (the Fig. 5 map, as a table).
+  std::map<std::string, std::size_t> by_region;
+  for (const auto& pop : dep.pops()) {
+    const auto& loc = metros[pop.metro.value()].location;
+    std::string region;
+    if (loc.lon_deg < -30.0) {
+      region = loc.lat_deg > 12.0 ? "North America" : "South America";
+    } else if (loc.lon_deg < 60.0) {
+      region = loc.lat_deg > 20.0 ? "Europe" : "Africa/Middle East";
+    } else {
+      region = loc.lat_deg < -10.0 ? "Oceania" : "Asia";
+    }
+    ++by_region[region];
+  }
+  util::Table spread{{"region", "PoPs"}};
+  for (const auto& [region, count] : by_region) {
+    spread.AddRow({region, std::to_string(count)});
+  }
+  spread.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  util::PrintFigureHeader(
+      std::cout, "Figure 5 / §4",
+      "Deployment inventory for the two simulated worlds (paper: 25 Vultr "
+      "PoPs, 5k neighbor ASes, 9k ingresses; Azure ~200 PoPs, 4k networks, "
+      "most at one PoP).");
+  Describe("Prototype world (PEERING/Vultr analogue)",
+           painter::bench::PrototypeWorld());
+  Describe("Azure-scale world (simulated-Azure analogue)",
+           painter::bench::AzureScaleWorld());
+  return 0;
+}

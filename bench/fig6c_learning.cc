@@ -1,0 +1,79 @@
+// Fig. 6c: PAINTER learns from incorrect routing assumptions over
+// advertisement iterations — realized benefit rises and the gap between the
+// model's prediction and reality narrows as observed ingress preferences and
+// measured RTTs replace the equal-likelihood assumption. The paper's
+// prototype went from 44 ms of uncertainty to 8 ms while realized benefit
+// climbed toward ~60 ms.
+//
+// The prototype's environment was full of surprises (transits inflating
+// routes over 10k+ km, New York users preferring Amsterdam ingresses), so
+// this bench raises the exit-quirk rate: a quarter of (entry AS, metro)
+// pairs route to a non-nearest PoP the model cannot know a priori.
+#include <iostream>
+
+#include "bench/strategy_eval.h"
+#include "core/sim_environment.h"
+#include "util/table.h"
+
+int main() {
+  using namespace painter;
+
+  util::PrintFigureHeader(
+      std::cout, "Figure 6c",
+      "Learning iterations: realized benefit climbs and prediction error "
+      "shrinks as routing surprises are observed (high-quirk prototype).");
+
+  auto w = bench::PrototypeWorld();
+  // A surprise-rich routing environment, resolved consistently everywhere.
+  const cloudsim::IngressResolver resolver{w.internet(), *w.deployment,
+                                           cloudsim::ExitQuirkConfig{0.25, 7}};
+  util::Rng rng{21};
+  const auto instance = core::BuildMeasuredInstance(
+      w.internet(), *w.deployment, *w.catalog, resolver, *w.oracle, rng);
+
+  for (const std::size_t budget : {5ul, 15ul, 40ul}) {
+    core::OrchestratorConfig ocfg;
+    ocfg.prefix_budget = budget;
+    ocfg.d_reuse_km = 3000.0;
+    ocfg.max_learning_iterations = 6;
+    ocfg.learning_stop_frac = -1.0;  // run all iterations for the figure
+    core::Orchestrator orch{instance, ocfg};
+    core::SimEnvironment env{resolver, *w.oracle, util::Rng{31}};
+    const auto reports = orch.Learn(env);
+
+    std::cout << "Budget " << budget << " prefixes:\n";
+    util::Table table{{"iteration", "realized (ms)", "realized+ (ms)",
+                       "predicted mean (ms)", "prediction error (ms)",
+                       "announcements"}};
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const auto& r = reports[i];
+      table.AddRow({std::to_string(i + 1), util::Table::Num(r.realized_ms, 2),
+                    util::Table::Num(r.realized_positive_ms, 2),
+                    util::Table::Num(r.predicted.mean_ms, 2),
+                    util::Table::Num(r.predicted.mean_ms - r.realized_ms, 2),
+                    std::to_string(r.config.AnnouncementCount())});
+    }
+    table.Print(std::cout);
+    const auto& first = reports.front();
+    const auto& last = reports.back();
+    std::cout << "Learning gain: "
+              << util::Table::Num(last.realized_ms - first.realized_ms, 2)
+              << " ms realized; prediction error "
+              << util::Table::Num(first.predicted.mean_ms - first.realized_ms,
+                                  2)
+              << " -> "
+              << util::Table::Num(last.predicted.mean_ms - last.realized_ms, 2)
+              << " ms.\n\n";
+  }
+
+  // Ablation: learning disabled == iteration 1 forever.
+  core::OrchestratorConfig ab;
+  ab.prefix_budget = 15;
+  ab.enable_learning = false;
+  core::Orchestrator no_learn{instance, ab};
+  core::SimEnvironment env{resolver, *w.oracle, util::Rng{31}};
+  const auto frozen = no_learn.Learn(env);
+  std::cout << "Ablation (learning off, budget 15): realized stays at "
+            << util::Table::Num(frozen.back().realized_ms, 2) << " ms.\n";
+  return 0;
+}

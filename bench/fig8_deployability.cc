@@ -1,0 +1,48 @@
+// Fig. 8: qualitative bucketing of ingress traffic-control solutions along
+// deployability (how much traffic can be directed with how much deployment
+// effort) and precision (traffic/time granularity and path diversity). The
+// paper's placement is reproduced here as a table, with the quantitative
+// anchors this repository regenerates for each axis.
+#include <iostream>
+
+#include "util/table.h"
+
+int main() {
+  using namespace painter;
+
+  util::PrintFigureHeader(
+      std::cout, "Figure 8",
+      "Deployability vs precision of ingress traffic-control solutions "
+      "(qualitative, quantitative anchors in other benches).");
+
+  util::Table table{{"solution", "deployability", "precision",
+                     "quantitative anchor"}};
+  table.AddRow({"Anycast", "more deployable", "less precise",
+                "Fig. 10: ~1 s outage + ~15 s convergence on failure"});
+  table.AddRow({"DNS (+ anycast/BGP tuning)", "more deployable",
+                "less precise",
+                "Fig. 3: 80% of Cloud-A bytes ignore expiry; Fig. 9a: "
+                "per-resolver granularity"});
+  table.AddRow({"SD-WAN multihoming", "deployable (enterprise-side)",
+                "moderate",
+                "Fig. 11: 2-3 paths for most UGs vs PAINTER's 23+"});
+  table.AddRow({"PAINTER (cloud-edge stack)", "deployable",
+                "most precise",
+                "Fig. 9a: per-flow; Fig. 10: ~1 RTT failover"});
+  table.AddRow({"Per-application TM-Edge", "hard (per-app rollout)",
+                "most precise", "same mechanism, worse deployment story"});
+  table.AddRow({"MPTCP/MPQUIC clients", "hard (client OS adoption)",
+                "most precise", "§2.3 edge-proxy variant"});
+  table.AddRow({"ISP collaboration", "least deployable", "precise",
+                "requires per-ISP coordination (§6)"});
+  table.AddRow({"Future Internet archs", "least deployable", "precise",
+                "requires new interdomain protocols (§6)"});
+  table.Print(std::cout);
+
+  std::cout << "\nPAINTER's position: cloud-edge network stacks already run "
+               "enterprise traffic policy and are cloud-integrated, so "
+               "TM-Edge deploys without touching clients, ISPs, or apps "
+               "(§5.2.1), while controlling individual flows at RTT "
+               "timescales.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 9a: the granularity at which BGP, DNS, and PAINTER control traffic,
+// overall and for the top PoPs by volume. BGP's knob is a (peering, user AS)
+// announcement update; DNS's is a recursive resolver; PAINTER's is a flow.
+// Buckets are the share of the PoP's traffic one knob moves.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "dnssim/granularity.h"
+#include "util/table.h"
+
+int main() {
+  using namespace painter;
+
+  util::PrintFigureHeader(
+      std::cout, "Figure 9a",
+      "Fraction of PoP traffic controlled per knob-size bucket, per steering "
+      "mechanism.");
+
+  auto w = bench::AzureScaleWorld();
+  const auto resolvers = dnssim::AssignResolvers(*w.deployment, {});
+  std::cout << "Resolvers: " << resolvers.resolver_count << " ("
+            << [&] {
+                 std::size_t e = 0;
+                 for (bool b : resolvers.resolver_supports_ecs) e += b;
+                 return e;
+               }()
+            << " ECS-capable)\n\n";
+
+  const auto rows =
+      dnssim::AnalyzeGranularity(*w.deployment, *w.resolver, resolvers, {});
+
+  const std::array<std::string, dnssim::kGranularityBuckets> bucket_names = {
+      "<=0.01%", "0.01-0.1%", "0.1-1%", "1-10%", "10-100%"};
+
+  for (const auto& mech : {std::string{"BGP"}, std::string{"DNS"},
+                           std::string{"PAINTER"}}) {
+    std::vector<std::string> headers{"PoP"};
+    for (const auto& b : bucket_names) headers.push_back(b);
+    util::Table table{headers};
+    for (const auto& row : rows) {
+      const auto& arr = mech == "BGP" ? row.bgp
+                        : mech == "DNS" ? row.dns
+                                        : row.painter;
+      std::vector<std::string> cells{row.pop_name};
+      for (const double v : arr) cells.push_back(util::Table::Pct(v));
+      table.AddRow(std::move(cells));
+    }
+    std::cout << mech << " knob sizes (share of PoP traffic per knob):\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Paper shape: both BGP and DNS move traffic at coarse, "
+               "PoP-dependent granularities (the paper notes the ordering "
+               "varies significantly across PoPs); PAINTER controls every "
+               "flow individually — all volume in the finest bucket.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the computational claims in §4:
+// the Advertisement Orchestrator computes configurations at ~30 s/prefix
+// with thousands of ingresses and tens of thousands of UGs — quick relative
+// to how often it runs (monthly). Here we measure the per-prefix greedy
+// cost, BGP propagation, and the Eq. 2 expectation primitive across world
+// sizes, demonstrating the near-linear scaling the paper attributes to UGs
+// having paths via a small fraction of ingresses.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/evaluate.h"
+#include "core/orchestrator.h"
+#include "core/problem.h"
+
+namespace {
+
+using namespace painter;
+
+const bench::BenchWorld& SharedWorld(std::size_t stubs) {
+  static std::map<std::size_t, std::unique_ptr<bench::BenchWorld>> cache;
+  auto& slot = cache[stubs];
+  if (!slot) {
+    slot = std::make_unique<bench::BenchWorld>(
+        bench::MakeBenchWorld(900 + stubs, stubs, 12));
+  }
+  return *slot;
+}
+
+const core::ProblemInstance& SharedInstance(std::size_t stubs) {
+  static std::map<std::size_t, std::unique_ptr<core::ProblemInstance>> cache;
+  auto& slot = cache[stubs];
+  if (!slot) {
+    const auto& w = SharedWorld(stubs);
+    util::Rng rng{5};
+    slot = std::make_unique<core::ProblemInstance>(core::BuildMeasuredInstance(
+        w.internet(), *w.deployment, *w.catalog, *w.resolver, *w.oracle, rng));
+  }
+  return *slot;
+}
+
+void BM_BgpPropagation(benchmark::State& state) {
+  const auto& w = SharedWorld(static_cast<std::size_t>(state.range(0)));
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.resolver->Resolve(all));
+  }
+  state.SetLabel(std::to_string(w.internet().graph.size()) + " ASes");
+}
+BENCHMARK(BM_BgpPropagation)->Arg(200)->Arg(600)->Arg(1500);
+
+void BM_Expectation(benchmark::State& state) {
+  const auto& inst = SharedInstance(600);
+  const core::RoutingModel model{inst.UgCount()};
+  // A mid-size advertised set: the first UG's own compliant sessions.
+  std::vector<util::PeeringId> advertised;
+  for (const auto& opt : inst.options[0]) advertised.push_back(opt.peering);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeExpectation(inst, model, 0, advertised, {}));
+  }
+  state.SetLabel(std::to_string(advertised.size()) + " candidates");
+}
+BENCHMARK(BM_Expectation);
+
+void BM_OrchestratorPerPrefix(benchmark::State& state) {
+  const auto& inst = SharedInstance(static_cast<std::size_t>(state.range(0)));
+  core::OrchestratorConfig cfg;
+  cfg.prefix_budget = 5;
+  for (auto _ : state) {
+    core::Orchestrator orch{inst, cfg};
+    benchmark::DoNotOptimize(orch.ComputeConfig());
+  }
+  state.counters["ugs"] = static_cast<double>(inst.UgCount());
+  state.counters["sessions"] = static_cast<double>(inst.peering_count);
+  state.counters["s_per_prefix"] = benchmark::Counter(
+      5.0, benchmark::Counter::kIsIterationInvariantRate |
+               benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_OrchestratorPerPrefix)->Arg(300)->Arg(600)->Arg(1200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PredictBenefit(benchmark::State& state) {
+  const auto& inst = SharedInstance(600);
+  core::OrchestratorConfig cfg;
+  cfg.prefix_budget = 10;
+  core::Orchestrator orch{inst, cfg};
+  const auto config = orch.ComputeConfig();
+  const core::RoutingModel model{inst.UgCount()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::PredictBenefit(inst, model, config, {}));
+  }
+}
+BENCHMARK(BM_PredictBenefit)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

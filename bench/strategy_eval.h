@@ -1,0 +1,102 @@
+// Shared strategy-curve machinery for the Fig. 6/9/14 benches: build each
+// advertisement strategy at a series of prefix budgets and evaluate its
+// modeled benefit range (Eq. 2) or ground-truth realized benefit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/baselines.h"
+#include "core/evaluate.h"
+#include "core/orchestrator.h"
+
+namespace painter::bench {
+
+struct StrategyCurve {
+  std::string name;
+  std::vector<std::size_t> budgets;
+  std::vector<core::Orchestrator::Prediction> predictions;
+};
+
+// Budget points as fractions of the session count (log-spaced like the
+// paper's x axis), deduplicated and >= 1.
+inline std::vector<std::size_t> BudgetPoints(std::size_t session_count) {
+  std::vector<std::size_t> budgets;
+  for (const double pct : {0.001, 0.003, 0.01, 0.03, 0.10, 0.30, 1.0}) {
+    const auto b = static_cast<std::size_t>(
+        std::max(1.0, pct * static_cast<double>(session_count)));
+    if (budgets.empty() || b != budgets.back()) budgets.push_back(b);
+  }
+  return budgets;
+}
+
+// PAINTER solved once at the largest budget (the greedy stops early at
+// saturation); smaller budgets are truncations of the greedy order.
+inline core::AdvertisementConfig SolvePainter(
+    const core::ProblemInstance& instance, std::size_t max_budget,
+    double d_reuse_km = 3000.0) {
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = max_budget;
+  ocfg.d_reuse_km = d_reuse_km;
+  core::Orchestrator orch{instance, ocfg};
+  return orch.ComputeConfig();
+}
+
+struct NamedStrategy {
+  std::string name;
+  // Builds the configuration for a given budget.
+  std::function<core::AdvertisementConfig(std::size_t budget)> build;
+};
+
+// The paper's strategy lineup (§5.1.2). `painter_full` must be the PAINTER
+// config solved at the maximum budget.
+inline std::vector<NamedStrategy> PaperStrategies(
+    const BenchWorld& w, const core::ProblemInstance& instance,
+    const core::AdvertisementConfig& painter_full, double d_reuse_km) {
+  return {
+      NamedStrategy{"PAINTER",
+                    [&](std::size_t b) {
+                      return core::Truncate(painter_full, b);
+                    }},
+      NamedStrategy{"OnePerPeering",
+                    [&](std::size_t b) {
+                      return core::OnePerPeering(*w.deployment, instance, b);
+                    }},
+      NamedStrategy{"OnePerPop",
+                    [&](std::size_t b) {
+                      return core::OnePerPop(*w.deployment, instance, b);
+                    }},
+      NamedStrategy{"OnePerPopWithReuse",
+                    [&, d_reuse_km](std::size_t b) {
+                      return core::OnePerPopWithReuse(
+                          w.internet(), *w.deployment, instance, b,
+                          d_reuse_km);
+                    }},
+      NamedStrategy{"RegionalTransit",
+                    [&](std::size_t b) {
+                      return core::RegionalTransit(w.internet(), *w.deployment,
+                                                   b);
+                    }},
+  };
+}
+
+inline std::vector<StrategyCurve> EvaluateModelCurves(
+    const core::ProblemInstance& instance,
+    const std::vector<NamedStrategy>& strategies,
+    const std::vector<std::size_t>& budgets,
+    const core::ExpectationParams& params) {
+  const core::RoutingModel model{instance.UgCount()};
+  std::vector<StrategyCurve> curves;
+  for (const auto& strategy : strategies) {
+    StrategyCurve curve{strategy.name, budgets, {}};
+    for (const std::size_t b : budgets) {
+      curve.predictions.push_back(core::PredictBenefit(
+          instance, model, strategy.build(b), params));
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+}  // namespace painter::bench

@@ -1,0 +1,49 @@
+// DNS TTL audit: why DNS steering cannot protect this traffic.
+//
+// Replays the paper's motivating measurement (§2.2, Fig. 3) for a single
+// enterprise's traffic mix: synthesize a day of flows against a cloud's DNS
+// records, then report how many bytes are in flight after the governing
+// record expired — the traffic a DNS-based traffic engineering system can no
+// longer move. Sweeping the TTL shows that even aggressive TTLs leave most
+// conferencing-style traffic uncontrolled, which is the case for PAINTER's
+// per-flow Traffic Manager.
+//
+// Build and run:  ./build/examples/dns_ttl_audit
+#include <iostream>
+
+#include "dnssim/ttl_study.h"
+#include "util/table.h"
+
+int main() {
+  using namespace painter;
+
+  std::cout << "Auditing an enterprise's conferencing traffic against its "
+               "cloud's DNS TTL.\n\n";
+
+  // The enterprise's mix: Cloud-A-like conferencing flows.
+  dnssim::CloudTrafficProfile profile = dnssim::DefaultCloudProfiles()[0];
+  profile.name = "enterprise conferencing";
+
+  util::Rng rng{99};
+  util::Table table{{"TTL (s)", "% bytes after expiry", "% >= 1 min late",
+                     "% >= 5 min late", "stale mechanism (live : new)"}};
+  for (const double ttl : {30.0, 60.0, 300.0, 900.0, 3600.0}) {
+    profile.ttl_seconds = ttl;
+    const auto r = dnssim::RunTtlStudy(profile, 200, 3 * 3600.0, rng);
+    const double live = r.live_past_expiry_bytes;
+    const double stale = r.stale_new_flow_bytes;
+    table.AddRow({util::Table::Num(ttl, 0),
+                  util::Table::Pct(dnssim::FractionAtOrAfter(r, 0.0)),
+                  util::Table::Pct(dnssim::FractionAtOrAfter(r, 60.0)),
+                  util::Table::Pct(dnssim::FractionAtOrAfter(r, 300.0)),
+                  util::Table::Num(stale > 0 ? live / stale : 0.0, 1) + " : 1"});
+  }
+  table.Print(std::cout);
+
+  std::cout
+      << "\nReading: even at a 30 s TTL most conferencing bytes flow after "
+         "the record expired (flows outlive records; clients cache resolved "
+         "addresses). A DNS update cannot move those bytes; a TM-Edge "
+         "steering per flow can (see examples/enterprise_failover).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Enterprise failover walkthrough (the Fig. 1 / Fig. 10 scenario).
+//
+// An enterprise branch office runs a cloud-edge network stack hosting a
+// TM-Edge. The TM-Edge keeps tunnels to the anycast prefix and to several
+// PAINTER unicast prefixes, pins each flow to the destination that is best
+// when the flow starts, and probes continuously. We kill the PoP behind the
+// chosen prefix mid-run and watch: the pinned long flow breaks (immutable
+// mapping, §3.2), new flows land on the next-best prefix within ~1 RTT, and
+// the anycast prefix needs seconds to become usable again.
+//
+// Build and run:  ./build/examples/enterprise_failover
+#include <iostream>
+
+#include "netsim/path.h"
+#include "tm/failover_scenario.h"
+#include "tm/tm_edge.h"
+#include "tm/tm_pop.h"
+#include "util/table.h"
+
+int main() {
+  using namespace painter;
+
+  std::cout << "Enterprise branch office: TM-Edge with 5 tunnels "
+               "(anycast + 4 PAINTER prefixes). PoP-A fails at t=60 s.\n\n";
+
+  tm::FailoverScenarioConfig cfg;
+  cfg.flow_packets = 1500;
+  cfg.flow_packet_interval_s = 0.04;
+  const auto result = tm::RunFailoverScenario(cfg);
+
+  std::cout << "Destinations resolved via the control channel:\n";
+  for (std::size_t i = 0; i < result.tunnel_names.size(); ++i) {
+    std::cout << "  tunnel " << i << ": " << result.tunnel_names[i] << "\n";
+  }
+
+  std::cout << "\nFailovers observed:\n";
+  util::Table fo{{"t (s)", "from", "to"}};
+  for (const auto& ev : result.failovers) {
+    fo.AddRow({util::Table::Num(ev.t, 3),
+               ev.from >= 0 ? result.tunnel_names[ev.from] : "(none)",
+               ev.to >= 0 ? result.tunnel_names[ev.to] : "(none)"});
+  }
+  fo.Print(std::cout);
+
+  std::cout << "\nPoP failure detected and rerouted in "
+            << util::Table::Num(result.detection_delay_s * 1000.0, 1)
+            << " ms (~"
+            << util::Table::Num(result.detection_delay_s / (2 * cfg.chosen_delay_s), 2)
+            << " RTT). Data packets: PoP-A " << result.pop_a_data_packets
+            << ", PoP-B " << result.pop_b_data_packets << ".\n";
+
+  // --- A second, self-contained demo of the Known Flows NAT at a TM-PoP. ---
+  std::cout << "\nTM-PoP NAT behaviour (Appendix D):\n";
+  netsim::Simulator sim;
+  tm::TmPop pop{sim, "PoP-demo", {0xC0A80001, 0xC0A80002}};
+  std::size_t responses = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    netsim::Packet p;
+    p.kind = netsim::PacketKind::kData;
+    p.inner = netsim::FlowKey{.src_ip = 0x0A000000u + i,
+                              .dst_ip = 0x08080808,
+                              .src_port = static_cast<netsim::Port>(40000 + i),
+                              .dst_port = 443};
+    p.payload_bytes = 1200;
+    pop.HandleArrival(p, [&](const netsim::Packet&) { ++responses; });
+  }
+  sim.Run(1.0);
+  std::cout << "  5 client flows -> " << pop.nat().ActiveBindings()
+            << " NAT bindings, " << responses
+            << " responses returned through the tunnel; capacity "
+            << pop.nat().Capacity() << " flows ("
+            << "65k per TM-PoP address).\n";
+  return 0;
+}

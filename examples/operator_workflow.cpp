@@ -1,0 +1,90 @@
+// Operator workflow: from measurements to an installable, priced,
+// serialized advertisement plan.
+//
+//  1. Solve for a configuration under a prefix budget.
+//  2. Bind the abstract prefixes to real /24s from the cloud's supernet and
+//     price the plan (§2.4: IPv4 prefixes cost > $20k each).
+//  3. Measure the plan's global BGP table footprint.
+//  4. Serialize the configuration for installation, and parse it back with
+//     deployment validation (what an installer at a PoP would do).
+//
+// Build and run:  ./build/examples/operator_workflow
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "painter/painter.h"
+
+int main() {
+  using namespace painter;
+
+  // --- World and measurements. ---
+  topo::Internet internet = topo::GenerateInternet({.seed = 424, .stub_count = 600});
+  cloudsim::Deployment deployment =
+      cloudsim::BuildDeployment(internet, {.pop_count = 14});
+  cloudsim::PolicyCatalog catalog{internet, deployment};
+  cloudsim::IngressResolver resolver{internet, deployment};
+  measure::LatencyOracle oracle{internet, deployment, {}};
+  util::Rng rng{5};
+  const auto instance = core::BuildMeasuredInstance(
+      internet, deployment, catalog, resolver, oracle, rng);
+
+  // --- 1. Solve. ---
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 8;
+  core::Orchestrator orchestrator{instance, ocfg};
+  const auto config = orchestrator.ComputeConfig();
+  const auto pred = orchestrator.Predict(config);
+  std::cout << "Solved: " << config.PrefixCount() << " prefixes, "
+            << config.AnnouncementCount() << " announcements, predicted "
+            << util::Table::Num(pred.mean_ms) << " ms mean improvement.\n\n";
+
+  // --- 2. Bind to real address space and price it. ---
+  core::PrefixPool pool{core::ParsePrefix("203.0.0.0/18").value(), 24,
+                        22000.0};
+  const auto plan = core::BindPrefixes(config, pool);
+  std::cout << "Address plan from " << pool.supernet().ToString() << " ("
+            << pool.Capacity() << " x /24 available):\n";
+  util::Table bound{{"prefix", "address block", "sessions", "PoPs"}};
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    std::set<std::uint32_t> pops;
+    for (const auto sid : config.Sessions(p)) {
+      pops.insert(deployment.peering(sid).pop.value());
+    }
+    bound.AddRow({std::to_string(p), plan.prefix_of_index[p].ToString(),
+                  std::to_string(config.Sessions(p).size()),
+                  std::to_string(pops.size())});
+  }
+  bound.Print(std::cout);
+  std::cout << "Prefix bill: $" << util::Table::Num(plan.cost_usd, 0)
+            << " (pool now " << pool.Allocated() << "/" << pool.Capacity()
+            << " allocated).\n\n";
+
+  // --- 3. Global table footprint. ---
+  const auto fp = core::ComputeRibFootprint(config, resolver);
+  std::cout << "Global BGP table impact: " << fp.total_entries
+            << " (prefix, AS) RIB entries across "
+            << internet.graph.size() << " ASes.\n\n";
+
+  // --- 4. Serialize, then validate-parse as the installer would. ---
+  const std::string wire = core::ConfigToString(config);
+  std::cout << "Serialized configuration (" << wire.size() << " bytes):\n"
+            << wire << "\n";
+  core::ParseError err;
+  const auto parsed = core::ConfigFromString(wire, &deployment, &err);
+  if (!parsed.has_value()) {
+    std::cerr << "installer rejected the config at line " << err.line << ": "
+              << err.message << "\n";
+    return 1;
+  }
+  std::cout << "Installer validation: OK ("
+            << parsed->AnnouncementCount() << " announcements against "
+            << deployment.peerings().size() << " sessions).\n";
+
+  // Control channel: what each service's TM-Edges will see.
+  tm::PrefixDirectory directory{deployment};
+  directory.Install(*parsed);
+  std::cout << "Control channel: " << directory.PrefixCount()
+            << " destinations resolvable by TM-Edges.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "bgpsim/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace painter::bgpsim {
+namespace {
+
+// Collects the set of ASes whose stable route used a withdrawn edge, i.e.
+// everyone who must re-converge. An AS is affected if its path's entry AS
+// (the origin-adjacent hop) lost its direct announcement, or if any upstream
+// hop on its path is itself affected.
+std::vector<util::AsId> AffectedAses(const topo::AsGraph& g,
+                                     const RoutingOutcome& before,
+                                     const std::unordered_set<std::uint32_t>&
+                                         lost_direct) {
+  std::vector<util::AsId> affected;
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    const util::AsId as{v};
+    if (!before.Reachable(as)) continue;
+    const auto entry = before.EntryAs(as);
+    if (entry.has_value() && lost_direct.contains(entry->value())) {
+      affected.push_back(as);
+    }
+  }
+  return affected;
+}
+
+}  // namespace
+
+ConvergenceTrace SimulateWithdrawal(const BgpEngine& engine,
+                                    const Announcement& before_ann,
+                                    const Announcement& after_ann,
+                                    util::AsId observer,
+                                    const ConvergenceParams& params,
+                                    util::Rng& rng) {
+  const topo::AsGraph& g = engine.graph();
+  const RoutingOutcome before = engine.Propagate(before_ann);
+  const RoutingOutcome after = engine.Propagate(after_ann);
+
+  // Which neighbors lost their direct session announcement.
+  std::unordered_set<std::uint32_t> kept;
+  for (util::AsId n : after_ann.to_neighbors) kept.insert(n.value());
+  std::unordered_set<std::uint32_t> lost_direct;
+  for (util::AsId n : before_ann.to_neighbors) {
+    if (!kept.contains(n.value())) lost_direct.insert(n.value());
+  }
+
+  const std::vector<util::AsId> affected =
+      AffectedAses(g, before, lost_direct);
+
+  ConvergenceTrace trace;
+
+  // Path exploration: an affected AS at distance d from the withdrawal point
+  // learns of the failure after d hop-delays, then emits updates in MRAI-paced
+  // waves while it walks down its preference list. The number of exploration
+  // steps shrinks as the new stable route is closer in preference to the old
+  // one; we bound it by the AS's degree (it can try each neighbor once).
+  double worst_converged = 0.0;
+  for (util::AsId as : affected) {
+    const Route& old_route = before.RouteAt(as);
+    const double jitter =
+        1.0 + params.hop_delay_jitter * (rng.Uniform01() - 0.5) * 2.0;
+    const double notify_time =
+        static_cast<double>(old_route.path_length) *
+        params.hop_delay_seconds * jitter;
+
+    const std::size_t degree = g.providers(as).size() + g.peers(as).size() +
+                               g.customers(as).size();
+    // Exploration steps: a few for well-connected ASes, at least one.
+    const std::size_t steps =
+        std::max<std::size_t>(1, std::min<std::size_t>(degree, 1 + rng.Index(4)));
+    for (std::size_t k = 0; k < steps; ++k) {
+      const double t = notify_time +
+                       static_cast<double>(k) * params.mrai_seconds *
+                           (0.75 + 0.5 * rng.Uniform01());
+      // Each exploration step sends an update to each neighbor session.
+      trace.events.push_back(UpdateEvent{t, degree});
+      worst_converged = std::max(worst_converged, t);
+    }
+  }
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const UpdateEvent& a, const UpdateEvent& b) {
+              return a.time_seconds < b.time_seconds;
+            });
+
+  // Observer reachability: unreachable from the withdrawal until the wave of
+  // withdrawals reaches it AND it selects its post-withdrawal route. If its
+  // route did not traverse a withdrawn edge, there is no gap.
+  const bool observer_affected =
+      std::find(affected.begin(), affected.end(), observer) != affected.end();
+  if (observer_affected && after.Reachable(observer)) {
+    const Route& new_route = after.RouteAt(observer);
+    // Downtime =~ time for the withdrawal to propagate to the observer plus
+    // one decision round; alternate-path announcements race in behind it.
+    trace.reachable_again_seconds =
+        static_cast<double>(before.RouteAt(observer).path_length) *
+            params.hop_delay_seconds +
+        static_cast<double>(new_route.path_length) * params.hop_delay_seconds;
+  } else if (observer_affected) {
+    trace.reachable_again_seconds = -1.0;  // never: no alternate route
+  }
+  trace.converged_seconds = worst_converged;
+  return trace;
+}
+
+}  // namespace painter::bgpsim

@@ -1,0 +1,58 @@
+// BGP convergence dynamics after a withdrawal.
+//
+// Fig. 10 contrasts PAINTER's RTT-timescale failover with anycast
+// reconvergence: after the chosen PoP's prefixes are withdrawn, the anycast
+// address is unreachable for ~1 s, and RIPE RIS collectors see an update
+// spike that decays over ~15 s as ASes explore alternate paths under MRAI
+// pacing. We model that process explicitly: each AS whose best route died
+// re-runs the decision process, withdraws/advertises to neighbors on an MRAI
+// timer, and the trace of (time, update count) plus the reachability gap are
+// the figure's right axis and red region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgpsim/engine.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace painter::bgpsim {
+
+struct ConvergenceParams {
+  // Min route advertisement interval; real routers default to ~30 s for eBGP
+  // but widely deploy much smaller values; we use seconds-scale pacing which
+  // reproduces the observed ~15 s convergence tail.
+  double mrai_seconds = 2.0;
+  // Per-hop propagation/processing delay for an update message.
+  double hop_delay_seconds = 0.15;
+  double hop_delay_jitter = 0.5;  // multiplicative jitter, +/- fraction
+};
+
+struct UpdateEvent {
+  double time_seconds;   // since the withdrawal
+  std::size_t updates;   // BGP update messages emitted in this wave
+};
+
+struct ConvergenceTrace {
+  // Waves of update messages (for the "# BGP updates" axis of Fig. 10).
+  std::vector<UpdateEvent> events;
+  // When the observer AS regained any route (the loss-of-reachability gap).
+  double reachable_again_seconds = 0.0;
+  // When the observer AS's route stopped changing (full convergence).
+  double converged_seconds = 0.0;
+};
+
+// Simulates reconvergence for `observer` after the origin withdraws the
+// announcement edges in `withdrawn` from configuration `before` -> `after`.
+//
+// `before`/`after` are stable outcomes computed by BgpEngine for the full and
+// post-withdrawal announcements; the dynamics model fills in the transient:
+// ASes whose paths traversed withdrawn edges explore progressively worse
+// alternatives (path exploration), each exploration step paced by MRAI.
+[[nodiscard]] ConvergenceTrace SimulateWithdrawal(
+    const BgpEngine& engine, const Announcement& before_ann,
+    const Announcement& after_ann, util::AsId observer,
+    const ConvergenceParams& params, util::Rng& rng);
+
+}  // namespace painter::bgpsim

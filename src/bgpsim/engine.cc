@@ -1,0 +1,188 @@
+#include "bgpsim/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace painter::bgpsim {
+
+bool Preferred(const Route& a, const Route& b) {
+  if (!a.reachable) return false;
+  if (!b.reachable) return true;
+  if (a.learned_from != b.learned_from) return a.learned_from < b.learned_from;
+  if (a.path_length != b.path_length) return a.path_length < b.path_length;
+  return a.next_hop < b.next_hop;
+}
+
+std::vector<util::AsId> RoutingOutcome::Path(util::AsId as) const {
+  std::vector<util::AsId> path;
+  if (!Reachable(as)) return path;
+  util::AsId cur = as;
+  // Guard against malformed chains; a valid path is at most as_count hops.
+  for (std::size_t guard = 0; guard <= routes_.size(); ++guard) {
+    const Route& r = routes_.at(cur.value());
+    if (!r.reachable) return {};
+    path.push_back(r.next_hop);
+    if (r.next_hop == origin_) return path;
+    cur = r.next_hop;
+  }
+  throw std::logic_error{"RoutingOutcome::Path: forwarding loop"};
+}
+
+std::optional<util::AsId> RoutingOutcome::EntryAs(util::AsId as) const {
+  const auto path = Path(as);
+  if (path.size() < 2) {
+    // Path == [origin]: `as` itself is adjacent to the origin.
+    return Reachable(as) ? std::optional<util::AsId>{as} : std::nullopt;
+  }
+  return path[path.size() - 2];
+}
+
+BgpEngine::BgpEngine(const topo::AsGraph& graph) : graph_(&graph) {
+  rel_.resize(graph.size());
+  for (std::uint32_t v = 0; v < graph.size(); ++v) {
+    const util::AsId id{v};
+    auto& row = rel_[v];
+    for (util::AsId c : graph.customers(id)) row.emplace_back(c.value(), Rel::kCustomer);
+    for (util::AsId p : graph.peers(id)) row.emplace_back(p.value(), Rel::kPeer);
+    for (util::AsId p : graph.providers(id)) row.emplace_back(p.value(), Rel::kProvider);
+    std::sort(row.begin(), row.end());
+  }
+}
+
+BgpEngine::Rel BgpEngine::RelOf(util::AsId a, util::AsId b) const {
+  const auto& row = rel_[a.value()];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), std::make_pair(b.value(), Rel::kNone),
+      [](const auto& x, const auto& y) { return x.first < y.first; });
+  if (it == row.end() || it->first != b.value()) return Rel::kNone;
+  return it->second;
+}
+
+RoutingOutcome BgpEngine::Propagate(const Announcement& ann) const {
+  const topo::AsGraph& g = *graph_;
+  RoutingOutcome out{g.size(), ann.origin};
+
+  // Validate and dedupe the receiving-neighbor set.
+  std::vector<util::AsId> seeds;
+  for (util::AsId n : ann.to_neighbors) {
+    if (RelOf(ann.origin, n) == Rel::kNone) {
+      throw std::invalid_argument{
+          "Propagate: announcement to non-adjacent neighbor"};
+    }
+    if (std::find(seeds.begin(), seeds.end(), n) == seeds.end()) {
+      seeds.push_back(n);
+    }
+  }
+
+  auto consider = [&](util::AsId as, const Route& cand) {
+    Route& cur = out.MutableRoute(as);
+    if (Preferred(cand, cur)) {
+      cur = cand;
+      return true;
+    }
+    return false;
+  };
+
+  // --- Phase 1: customer routes climb provider links. ---
+  // Seeds: neighbors for which the origin is a customer (i.e. the origin's
+  // providers, among the selected receivers).
+  //
+  // Level-synchronized BFS so that an AS's route is final before it exports;
+  // within a level all candidates compete under the full decision process.
+  std::vector<util::AsId> frontier;
+  for (util::AsId n : seeds) {
+    if (RelOf(n, ann.origin) == Rel::kCustomer) {
+      Route r{.reachable = true,
+              .learned_from = LearnedFrom::kCustomer,
+              .path_length = 1,
+              .next_hop = ann.origin};
+      if (consider(n, r)) frontier.push_back(n);
+    }
+  }
+  while (!frontier.empty()) {
+    // Collect candidate updates for the next level, then commit the best.
+    std::vector<util::AsId> next;
+    for (util::AsId u : frontier) {
+      const Route& ru = out.RouteAt(u);
+      for (util::AsId prov : g.providers(u)) {
+        Route cand{.reachable = true,
+                   .learned_from = LearnedFrom::kCustomer,
+                   .path_length = ru.path_length + 1,
+                   .next_hop = u};
+        if (consider(prov, cand)) next.push_back(prov);
+      }
+    }
+    // Dedupe: an AS updated twice in a level should appear once.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+  }
+
+  // --- Phase 2: peer routes cross exactly one peer link. ---
+  // Direct peers of the origin among the seeds:
+  std::vector<std::pair<util::AsId, Route>> peer_cands;
+  for (util::AsId n : seeds) {
+    if (RelOf(n, ann.origin) == Rel::kPeer) {
+      peer_cands.emplace_back(n, Route{.reachable = true,
+                                       .learned_from = LearnedFrom::kPeer,
+                                       .path_length = 1,
+                                       .next_hop = ann.origin});
+    }
+  }
+  // ASes with customer routes export them to peers.
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    const Route& r = out.RouteAt(util::AsId{v});
+    if (!r.reachable || r.learned_from != LearnedFrom::kCustomer) continue;
+    for (util::AsId peer : g.peers(util::AsId{v})) {
+      peer_cands.emplace_back(peer,
+                              Route{.reachable = true,
+                                    .learned_from = LearnedFrom::kPeer,
+                                    .path_length = r.path_length + 1,
+                                    .next_hop = util::AsId{v}});
+    }
+  }
+  for (const auto& [as, cand] : peer_cands) consider(as, cand);
+
+  // --- Phase 3: routes descend provider->customer links. ---
+  // Origin's selected customers learn directly from their provider (origin).
+  frontier.clear();
+  for (util::AsId n : seeds) {
+    if (RelOf(n, ann.origin) == Rel::kProvider) {
+      // From n's perspective the origin is its provider.
+      Route r{.reachable = true,
+              .learned_from = LearnedFrom::kProvider,
+              .path_length = 1,
+              .next_hop = ann.origin};
+      if (consider(n, r)) frontier.push_back(n);
+    }
+  }
+  // Every AS holding any route exports it to customers. BFS by levels over
+  // path length; customer/peer-routed ASes are all sources at their existing
+  // lengths. To keep level semantics we expand from all routed ASes, shortest
+  // paths first, using a simple monotone worklist keyed by candidate length.
+  std::deque<util::AsId> work;
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    if (out.Reachable(util::AsId{v})) work.push_back(util::AsId{v});
+  }
+  for (util::AsId f : frontier) work.push_back(f);
+  // Bellman-Ford-style relaxation: provider routes can only lengthen down a
+  // DAG (provider->customer edges), so this terminates quickly.
+  while (!work.empty()) {
+    const util::AsId u = work.front();
+    work.pop_front();
+    const Route ru = out.RouteAt(u);
+    if (!ru.reachable) continue;
+    for (util::AsId cust : g.customers(u)) {
+      Route cand{.reachable = true,
+                 .learned_from = LearnedFrom::kProvider,
+                 .path_length = ru.path_length + 1,
+                 .next_hop = u};
+      if (consider(cust, cand)) work.push_back(cust);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace painter::bgpsim

@@ -1,0 +1,79 @@
+// Static interdomain routing engine.
+//
+// Computes, for one announcement, the stable Gao–Rexford routing outcome for
+// every AS: which neighbor it forwards through and the full AS path. The
+// computation is the standard three-phase propagation over the relationship
+// hierarchy:
+//
+//   1. customer routes climb provider links (an AS learns from its customer),
+//   2. peer routes cross a single peer link,
+//   3. remaining routes descend provider->customer links,
+//
+// which yields exactly the valley-free routes BGP export policies permit, with
+// each AS applying local-pref (customer > peer > provider), AS-path length,
+// and a deterministic tie-break. This is the "BGP routes by nature encode
+// policy-compliant routes" substrate the paper's ingress inference relies on
+// (§3.1), and the mechanism by which anycast picks latency-oblivious — and
+// sometimes badly inflated — ingresses (§2.2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgpsim/route.h"
+#include "topo/as_graph.h"
+
+namespace painter::bgpsim {
+
+// Stable routing state for one prefix: a route (or unreachable) per AS.
+class RoutingOutcome {
+ public:
+  explicit RoutingOutcome(std::size_t as_count, util::AsId origin)
+      : origin_(origin), routes_(as_count) {}
+
+  [[nodiscard]] const Route& RouteAt(util::AsId as) const {
+    return routes_.at(as.value());
+  }
+  [[nodiscard]] bool Reachable(util::AsId as) const {
+    return routes_.at(as.value()).reachable;
+  }
+
+  // Full AS path from `as` (exclusive) to the origin (inclusive). Empty if
+  // unreachable. The first element adjacent to the origin is the entry AS —
+  // the neighbor whose peering the traffic ingresses through.
+  [[nodiscard]] std::vector<util::AsId> Path(util::AsId as) const;
+
+  // The cloud-adjacent AS on `as`'s path (last element before origin), i.e.
+  // the AS whose peering with the cloud carries the traffic in.
+  [[nodiscard]] std::optional<util::AsId> EntryAs(util::AsId as) const;
+
+  [[nodiscard]] util::AsId origin() const { return origin_; }
+
+  Route& MutableRoute(util::AsId as) { return routes_.at(as.value()); }
+
+ private:
+  util::AsId origin_;
+  std::vector<Route> routes_;
+};
+
+class BgpEngine {
+ public:
+  explicit BgpEngine(const topo::AsGraph& graph);
+
+  // Computes the stable outcome for `ann`. Throws std::invalid_argument if a
+  // listed neighbor is not adjacent to the origin.
+  [[nodiscard]] RoutingOutcome Propagate(const Announcement& ann) const;
+
+  [[nodiscard]] const topo::AsGraph& graph() const { return *graph_; }
+
+ private:
+  enum class Rel : std::uint8_t { kNone, kCustomer, kPeer, kProvider };
+  // Relationship of `b` from `a`'s point of view (b is a's customer, ...).
+  [[nodiscard]] Rel RelOf(util::AsId a, util::AsId b) const;
+
+  const topo::AsGraph* graph_;
+  // Dense adjacency-relationship matrix is too big; use per-AS sorted vectors.
+  std::vector<std::vector<std::pair<std::uint32_t, Rel>>> rel_;
+};
+
+}  // namespace painter::bgpsim

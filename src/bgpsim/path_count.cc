@@ -1,0 +1,82 @@
+#include "bgpsim/path_count.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace painter::bgpsim {
+
+PathCounts CountValleyFreePaths(const topo::AsGraph& graph,
+                                util::AsId origin) {
+  const std::size_t n = graph.size();
+  enum class State : std::uint8_t { kUnvisited, kInProgress, kDone };
+
+  // D(v): only provider→customer hops remain. Terminal: the origin is a
+  // direct customer of v.
+  std::vector<double> d(n, 0.0);
+  std::vector<State> d_state(n, State::kUnvisited);
+  std::function<double(util::AsId)> down = [&](util::AsId v) -> double {
+    auto& st = d_state[v.value()];
+    if (st == State::kDone) return d[v.value()];
+    if (st == State::kInProgress) return 0.0;  // defensive: cycle guard
+    st = State::kInProgress;
+    double acc = 0.0;
+    for (util::AsId c : graph.customers(v)) {
+      if (c == origin) {
+        acc += 1.0;
+      } else {
+        acc += down(c);
+      }
+    }
+    d[v.value()] = acc;
+    st = State::kDone;
+    return acc;
+  };
+
+  // A(v): at the apex — descend directly, terminate across a peer edge to
+  // the origin, or cross one peer edge and then descend.
+  auto apex = [&](util::AsId v) -> double {
+    double acc = down(v);
+    for (util::AsId p : graph.peers(v)) {
+      if (p == origin) {
+        acc += 1.0;
+      } else {
+        acc += down(p);
+      }
+    }
+    // Direct provider edge to the origin (origin is v's customer) is already
+    // inside down(v); direct customer edge (origin is v's provider) is an
+    // *up* hop and handled in U.
+    return acc;
+  };
+
+  // U(v): may still climb. Terminal up-hop: the origin is v's provider.
+  std::vector<double> u(n, 0.0);
+  std::vector<State> u_state(n, State::kUnvisited);
+  std::function<double(util::AsId)> up = [&](util::AsId v) -> double {
+    auto& st = u_state[v.value()];
+    if (st == State::kDone) return u[v.value()];
+    if (st == State::kInProgress) return 0.0;  // cycle guard
+    st = State::kInProgress;
+    double acc = apex(v);
+    for (util::AsId q : graph.providers(v)) {
+      if (q == origin) {
+        acc += 1.0;
+      } else {
+        acc += up(q);
+      }
+    }
+    u[v.value()] = acc;
+    st = State::kDone;
+    return acc;
+  };
+
+  PathCounts out;
+  out.total.assign(n, 0.0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (util::AsId{v} == origin) continue;
+    out.total[v] = up(util::AsId{v});
+  }
+  return out;
+}
+
+}  // namespace painter::bgpsim

@@ -1,0 +1,36 @@
+// Exact counting of valley-free paths to an origin.
+//
+// Fig. 11a's upper bound is "All Policy-Compliant Paths": every distinct
+// Gao–Rexford-valid AS path a hypothetical orchestrator could expose with
+// advertisement attributes (prepending etc., [100]). Enumerating them is
+// exponential, but *counting* is linear: a valley-free path is
+// up* (peer)? down*, so per-AS suffix counts factor into three dynamic
+// programs over the relationship DAG:
+//
+//   D(v) = suffixes that only descend   (provider→customer edges)
+//   A(v) = suffixes from the path apex  (down, or one peer edge then down)
+//   U(v) = suffixes that may still climb (customer→provider edges)
+//
+// Counts use double (they grow combinatorially; exactness beyond 2^53 is
+// irrelevant for a CDF of differences).
+#pragma once
+
+#include <vector>
+
+#include "topo/as_graph.h"
+#include "util/ids.h"
+
+namespace painter::bgpsim {
+
+struct PathCounts {
+  // Indexed by AS id value; number of valley-free paths to the origin.
+  std::vector<double> total;
+};
+
+// Counts valley-free paths from every AS to `origin`, where `origin`'s
+// adjacencies (providers / peers / customers as recorded in the graph) are
+// the entry edges. ASes with no valid path have count 0.
+[[nodiscard]] PathCounts CountValleyFreePaths(const topo::AsGraph& graph,
+                                              util::AsId origin);
+
+}  // namespace painter::bgpsim

@@ -1,0 +1,44 @@
+// BGP route and announcement types.
+//
+// The Advertisement Orchestrator's primitive operation is "announce prefix P
+// via this subset of the cloud's interconnections" (§3.1). At the AS level an
+// announcement is the origin AS plus the set of neighbor ASes that receive it;
+// the PoP at which a neighbor receives it is tracked by cloudsim, since BGP
+// policy operates per AS while ingress selection operates per PoP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace painter::bgpsim {
+
+// Relationship class of the neighbor a route was learned from, in standard
+// local-preference order: routes from customers are preferred over routes
+// from peers over routes from providers (Gao–Rexford).
+enum class LearnedFrom : std::uint8_t { kCustomer = 0, kPeer = 1, kProvider = 2 };
+
+struct Route {
+  bool reachable = false;
+  LearnedFrom learned_from = LearnedFrom::kProvider;
+  // Number of AS hops to the origin (next_hop chain length).
+  std::uint32_t path_length = 0;
+  // The neighbor this AS forwards to.
+  util::AsId next_hop;
+};
+
+struct Announcement {
+  util::PrefixId prefix;
+  util::AsId origin;
+  // Neighbors of `origin` that receive the announcement. Duplicates are
+  // ignored; neighbors not adjacent to origin are rejected by the engine.
+  std::vector<util::AsId> to_neighbors;
+};
+
+// Returns true if `a` is strictly preferred to `b` under the standard BGP
+// decision process: local preference (relationship), then shortest AS path,
+// then lowest next-hop id as the deterministic tie-break.
+[[nodiscard]] bool Preferred(const Route& a, const Route& b);
+
+}  // namespace painter::bgpsim

@@ -1,0 +1,231 @@
+#include "bgpsim/session_sim.h"
+
+#include <algorithm>
+
+namespace painter::bgpsim {
+namespace {
+
+// Total order over candidate routes at a node: relationship class, then
+// AS-path length, then lowest neighbor id — identical to the static engine.
+struct Candidate {
+  LearnedFrom cls;
+  std::uint32_t length;
+  std::uint32_t neighbor;
+};
+
+bool Better(const Candidate& a, const Candidate& b) {
+  if (a.cls != b.cls) return a.cls < b.cls;
+  if (a.length != b.length) return a.length < b.length;
+  return a.neighbor < b.neighbor;
+}
+
+}  // namespace
+
+MessageLevelSim::MessageLevelSim(const topo::AsGraph& graph, util::AsId origin,
+                                 netsim::Simulator& sim, Params params)
+    : graph_(&graph),
+      origin_(origin),
+      sim_(&sim),
+      params_(params),
+      rng_(params.seed),
+      nodes_(graph.size()) {}
+
+MessageLevelSim::Rel MessageLevelSim::RelOf(util::AsId a, util::AsId b) const {
+  const auto& custs = graph_->customers(a);
+  if (std::find(custs.begin(), custs.end(), b) != custs.end()) {
+    return Rel::kCustomer;
+  }
+  const auto& peers = graph_->peers(a);
+  if (std::find(peers.begin(), peers.end(), b) != peers.end()) {
+    return Rel::kPeer;
+  }
+  const auto& provs = graph_->providers(a);
+  if (std::find(provs.begin(), provs.end(), b) != provs.end()) {
+    return Rel::kProvider;
+  }
+  return Rel::kNone;
+}
+
+LearnedFrom MessageLevelSim::ClassOf(util::AsId self, util::AsId from) const {
+  switch (RelOf(self, from)) {
+    case Rel::kCustomer:
+      return LearnedFrom::kCustomer;
+    case Rel::kPeer:
+      return LearnedFrom::kPeer;
+    default:
+      return LearnedFrom::kProvider;
+  }
+}
+
+void MessageLevelSim::Announce(const std::vector<util::AsId>& to_neighbors) {
+  std::size_t sent = 0;
+  for (util::AsId n : to_neighbors) {
+    SendMessage(origin_, n, PathRoute{{origin_}});
+    ++sent;
+  }
+  if (sent > 0) churn_log_.emplace_back(sim_->Now(), sent);
+}
+
+void MessageLevelSim::Withdraw(const std::vector<util::AsId>& from_neighbors) {
+  std::size_t sent = 0;
+  for (util::AsId n : from_neighbors) {
+    SendMessage(origin_, n, std::nullopt);
+    ++sent;
+  }
+  if (sent > 0) churn_log_.emplace_back(sim_->Now(), sent);
+}
+
+void MessageLevelSim::SendMessage(util::AsId from, util::AsId to,
+                                  std::optional<PathRoute> route) {
+  const double jitter =
+      1.0 + params_.hop_jitter * (rng_.Uniform01() - 0.5) * 2.0;
+  const double delay = params_.hop_delay_s * jitter;
+  sim_->Schedule(delay, [this, from, to, route = std::move(route)]() {
+    Receive(to, from, route);
+  });
+}
+
+void MessageLevelSim::Receive(util::AsId self, util::AsId from,
+                              std::optional<PathRoute> route) {
+  ++processed_;
+  Node& node = nodes_[self.value()];
+
+  if (route.has_value()) {
+    // AS-path loop prevention: a route already containing us is unusable —
+    // treat like a withdrawal from that neighbor.
+    const bool loops =
+        std::find(route->path.begin(), route->path.end(), self) !=
+        route->path.end();
+    if (loops) {
+      node.adj_in.erase(from.value());
+    } else {
+      node.adj_in[from.value()] = *route;
+    }
+  } else {
+    node.adj_in.erase(from.value());
+  }
+  Reselect(self);
+}
+
+void MessageLevelSim::Reselect(util::AsId self) {
+  Node& node = nodes_[self.value()];
+
+  bool found = false;
+  Candidate best_cand{LearnedFrom::kProvider, 0, 0};
+  const PathRoute* best_route = nullptr;
+  for (const auto& [neighbor, route] : node.adj_in) {
+    const Candidate cand{ClassOf(self, util::AsId{neighbor}), route.Length(),
+                         neighbor};
+    if (!found || Better(cand, best_cand)) {
+      found = true;
+      best_cand = cand;
+      best_route = &route;
+    }
+  }
+
+  const bool changed =
+      found != node.has_best ||
+      (found && (node.best.path != best_route->path));
+  if (!changed) return;
+
+  node.has_best = found;
+  if (found) {
+    node.best = *best_route;
+  } else {
+    node.best.path.clear();
+  }
+
+  // Withdrawals are not MRAI-delayed (RFC 4271 §9.2.1.1): any neighbor that
+  // can no longer receive our route hears about it immediately.
+  std::size_t withdrawals = 0;
+  for (auto& [neighbor, was_advertised] : node.advertised_to) {
+    if (!was_advertised) continue;
+    if (!node.has_best || !ShouldExport(self, util::AsId{neighbor})) {
+      SendMessage(self, util::AsId{neighbor}, std::nullopt);
+      was_advertised = false;
+      ++withdrawals;
+    }
+  }
+  if (withdrawals > 0) churn_log_.emplace_back(sim_->Now(), withdrawals);
+
+  ScheduleFlush(self);
+}
+
+bool MessageLevelSim::ShouldExport(util::AsId self, util::AsId to) const {
+  const Node& node = nodes_[self.value()];
+  if (!node.has_best) return false;
+  // Split horizon: never export back toward the next hop.
+  if (!node.best.path.empty() && node.best.path.front() == to) return false;
+  if (to == origin_) return false;
+  // Valley-free export: customer-learned routes go everywhere; peer- and
+  // provider-learned routes go only to customers.
+  const LearnedFrom cls = ClassOf(self, node.best.path.front());
+  if (cls == LearnedFrom::kCustomer) return true;
+  return RelOf(self, to) == Rel::kCustomer;
+}
+
+void MessageLevelSim::ScheduleFlush(util::AsId self) {
+  Node& node = nodes_[self.value()];
+  if (node.flush_scheduled) return;
+  node.flush_scheduled = true;
+  const double at = std::max(sim_->Now(), node.mrai_ready_at);
+  sim_->ScheduleAt(at, [this, self]() { Flush(self); });
+}
+
+void MessageLevelSim::Flush(util::AsId self) {
+  Node& node = nodes_[self.value()];
+  node.flush_scheduled = false;
+
+  std::size_t sent = 0;
+  // Neighbors = union of all adjacency kinds.
+  auto consider = [&](util::AsId neighbor) {
+    const bool want = ShouldExport(self, neighbor);
+    auto& advertised = node.advertised_to[neighbor.value()];
+    if (want) {
+      // (Re-)announce our best with ourselves prepended.
+      PathRoute exported;
+      exported.path.reserve(node.best.path.size() + 1);
+      exported.path.push_back(self);
+      exported.path.insert(exported.path.end(), node.best.path.begin(),
+                           node.best.path.end());
+      SendMessage(self, neighbor, std::move(exported));
+      advertised = true;
+      ++sent;
+    } else if (advertised) {
+      SendMessage(self, neighbor, std::nullopt);
+      advertised = false;
+      ++sent;
+    }
+  };
+  for (util::AsId n : graph_->customers(self)) consider(n);
+  for (util::AsId n : graph_->peers(self)) consider(n);
+  for (util::AsId n : graph_->providers(self)) consider(n);
+
+  if (sent > 0) {
+    churn_log_.emplace_back(sim_->Now(), sent);
+    node.mrai_ready_at =
+        sim_->Now() + params_.mrai_s * (0.75 + 0.5 * rng_.Uniform01());
+  }
+}
+
+std::optional<MessageLevelSim::PathRoute> MessageLevelSim::BestRoute(
+    util::AsId as) const {
+  const Node& node = nodes_[as.value()];
+  if (!node.has_best) return std::nullopt;
+  return node.best;
+}
+
+bool MessageLevelSim::Reachable(util::AsId as) const {
+  return nodes_[as.value()].has_best;
+}
+
+std::optional<Route> MessageLevelSim::BestAsEngineRoute(util::AsId as) const {
+  const Node& node = nodes_[as.value()];
+  if (!node.has_best) return std::nullopt;
+  return Route{.reachable = true,
+               .learned_from = ClassOf(as, node.best.path.front()),
+               .path_length = node.best.Length(),
+               .next_hop = node.best.path.front()};
+}
+
+}  // namespace painter::bgpsim

@@ -1,0 +1,113 @@
+// Message-level BGP simulation.
+//
+// The static engine (engine.h) computes the Gao–Rexford fixpoint directly;
+// this module reaches the same fixpoint the way real routers do — UPDATE and
+// WITHDRAW messages over sessions, per-AS Adj-RIB-In, AS-path loop
+// prevention, best-path selection, export filtering, and MRAI-paced
+// re-advertisement. Two things need it:
+//
+//  - validation: at quiescence the chosen route at every AS must match the
+//    static engine (a strong cross-check of both implementations), and
+//  - dynamics: withdrawing a PoP's announcements produces *real* path
+//    exploration and update churn, the right axis of Fig. 10, including the
+//    transient use of longer policy-valid routes while convergence runs.
+//
+// The event loop is netsim::Simulator; per-hop propagation delay and MRAI
+// are configurable, with deterministic seeded jitter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgpsim/route.h"
+#include "netsim/sim.h"
+#include "topo/as_graph.h"
+#include "util/rng.h"
+
+namespace painter::bgpsim {
+
+class MessageLevelSim {
+ public:
+  struct Params {
+    double hop_delay_s = 0.05;   // session propagation + processing
+    double hop_jitter = 0.3;     // +/- fraction on each message
+    double mrai_s = 2.0;         // min route advertisement interval per AS
+    std::uint64_t seed = 1;
+  };
+
+  // A route as carried in UPDATE messages: the full AS path (loop
+  // prevention) ending at the origin.
+  struct PathRoute {
+    std::vector<util::AsId> path;  // path[0] = sender ... back() = origin
+    [[nodiscard]] std::uint32_t Length() const {
+      return static_cast<std::uint32_t>(path.size());
+    }
+  };
+
+  MessageLevelSim(const topo::AsGraph& graph, util::AsId origin,
+                  netsim::Simulator& sim, Params params);
+
+  // Origin-side operations: announce to / withdraw from direct neighbors at
+  // the simulator's current time.
+  void Announce(const std::vector<util::AsId>& to_neighbors);
+  void Withdraw(const std::vector<util::AsId>& from_neighbors);
+
+  // Current best route of an AS (nullopt if it has none).
+  [[nodiscard]] std::optional<PathRoute> BestRoute(util::AsId as) const;
+  [[nodiscard]] bool Reachable(util::AsId as) const;
+
+  // Relationship class / selection metadata of the current best, matching
+  // the static engine's Route for cross-validation.
+  [[nodiscard]] std::optional<Route> BestAsEngineRoute(util::AsId as) const;
+
+  // Total UPDATE/WITHDRAW messages processed so far.
+  [[nodiscard]] std::uint64_t MessagesProcessed() const { return processed_; }
+
+  // (time, messages emitted) per flush — the churn series.
+  [[nodiscard]] const std::vector<std::pair<double, std::size_t>>& ChurnLog()
+      const {
+    return churn_log_;
+  }
+
+ private:
+  enum class Rel : std::uint8_t { kNone, kCustomer, kPeer, kProvider };
+
+  struct Node {
+    // Adj-RIB-In: best route heard from each neighbor (value absent = none).
+    std::unordered_map<std::uint32_t, PathRoute> adj_in;
+    // Currently selected best (empty path = none).
+    PathRoute best;
+    bool has_best = false;
+    // What we last advertised to each neighbor (true = announced).
+    std::unordered_map<std::uint32_t, bool> advertised_to;
+    double mrai_ready_at = 0.0;
+    bool flush_scheduled = false;
+  };
+
+  [[nodiscard]] Rel RelOf(util::AsId a, util::AsId b) const;
+  [[nodiscard]] LearnedFrom ClassOf(util::AsId self, util::AsId from) const;
+
+  // Message arrival at `self` from `from`; `route` empty => withdraw.
+  void Receive(util::AsId self, util::AsId from,
+               std::optional<PathRoute> route);
+  // Re-runs best-path selection; schedules an export flush if best changed.
+  void Reselect(util::AsId self);
+  void ScheduleFlush(util::AsId self);
+  void Flush(util::AsId self);
+  void SendMessage(util::AsId from, util::AsId to,
+                   std::optional<PathRoute> route);
+  [[nodiscard]] bool ShouldExport(util::AsId self, util::AsId to) const;
+
+  const topo::AsGraph* graph_;
+  util::AsId origin_;
+  netsim::Simulator* sim_;
+  Params params_;
+  util::Rng rng_;
+  std::vector<Node> nodes_;
+  std::uint64_t processed_ = 0;
+  std::vector<std::pair<double, std::size_t>> churn_log_;
+};
+
+}  // namespace painter::bgpsim

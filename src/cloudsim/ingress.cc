@@ -1,0 +1,143 @@
+#include "cloudsim/ingress.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hashmix.h"
+
+namespace painter::cloudsim {
+
+IngressResolver::IngressResolver(const topo::Internet& internet,
+                                 const Deployment& deployment,
+                                 ExitQuirkConfig quirks)
+    : internet_(&internet), deployment_(&deployment), quirks_(quirks),
+      engine_(internet.graph) {}
+
+util::PeeringId IngressResolver::PickExit(
+    util::AsId entry, util::MetroId ug_metro,
+    std::span<const util::PeeringId> options) const {
+  const topo::AsInfo& info = internet_->graph.info(entry);
+  const auto& metros = internet_->metros;
+
+  // Quirky (entry AS, client metro) pairs exit at their rendezvous-hash
+  // session — stable across advertisement changes, so the orchestrator can
+  // learn the preference, but frequently not the nearest PoP. Quirks stay at
+  // continental scale (the paper's New York→Amsterdam example): antipodal
+  // exits are excluded.
+  if (options.size() > 1) {
+    util::Rng qrng{util::MixSeed(quirks_.seed, 0x88, entry.value(),
+                                    ug_metro.value())};
+    if (qrng.Bernoulli(quirks_.quirk_prob)) {
+      constexpr double kQuirkMaxKm = 7000.0;
+      const topo::GeoPoint& home =
+          internet_->metros[ug_metro.value()].location;
+      util::PeeringId best;
+      std::uint64_t best_hash = 0;
+      for (util::PeeringId pid : options) {
+        const auto& pop_loc =
+            internet_->metros[deployment_->pop(deployment_->peering(pid).pop)
+                                  .metro.value()]
+                .location;
+        if (topo::Distance(home, pop_loc).count() > kQuirkMaxKm) continue;
+        const std::uint64_t h = util::MixSeed(
+            quirks_.seed, 0x99, util::MixSeed(entry.value(), ug_metro.value()),
+            deployment_->peering(pid).pop.value());
+        if (!best.valid() || h > best_hash) {
+          best = pid;
+          best_hash = h;
+        }
+      }
+      if (best.valid()) return best;
+    }
+  }
+  const util::MetroId target =
+      info.exit_policy == topo::ExitPolicy::kEarlyExit ? ug_metro
+                                                       : info.exit_bias;
+  const topo::GeoPoint& anchor = metros[target.value()].location;
+
+  util::PeeringId best;
+  double best_dist = 0.0;
+  for (util::PeeringId pid : options) {
+    const Peering& sess = deployment_->peering(pid);
+    const topo::GeoPoint& pop_loc =
+        metros[deployment_->pop(sess.pop).metro.value()].location;
+    const double d = topo::Distance(anchor, pop_loc).count();
+    if (!best.valid() || d < best_dist ||
+        (d == best_dist && pid < best)) {
+      best = pid;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+IngressResolver::Result IngressResolver::ResolveWithRoutes(
+    std::span<const util::PeeringId> advertised) const {
+  // Group the advertised sessions by neighbor AS.
+  std::unordered_map<util::AsId, std::vector<util::PeeringId>> by_as;
+  bgpsim::Announcement ann{.prefix = util::PrefixId{0},
+                           .origin = deployment_->cloud_as(),
+                           .to_neighbors = {}};
+  for (util::PeeringId pid : advertised) {
+    auto& bucket = by_as[deployment_->peering(pid).peer];
+    if (bucket.empty()) ann.to_neighbors.push_back(deployment_->peering(pid).peer);
+    bucket.push_back(pid);
+  }
+
+  bgpsim::RoutingOutcome outcome = engine_.Propagate(ann);
+
+  std::vector<std::optional<util::PeeringId>> ingress(
+      deployment_->ugs().size());
+  for (const UserGroup& ug : deployment_->ugs()) {
+    if (!outcome.Reachable(ug.as)) continue;
+    const auto entry = outcome.EntryAs(ug.as);
+    if (!entry.has_value()) continue;
+    const auto it = by_as.find(*entry);
+    if (it == by_as.end()) continue;  // should not happen for valid outcomes
+    ingress[ug.id.value()] = PickExit(*entry, ug.metro, it->second);
+  }
+  return Result{std::move(ingress), std::move(outcome)};
+}
+
+std::vector<std::optional<util::PeeringId>> IngressResolver::Resolve(
+    std::span<const util::PeeringId> advertised) const {
+  return ResolveWithRoutes(advertised).ingress_of_ug;
+}
+
+PolicyCatalog::PolicyCatalog(const topo::Internet& internet,
+                             const Deployment& deployment) {
+  const topo::AsGraph& g = internet.graph;
+  compliant_.resize(deployment.ugs().size());
+
+  // Precompute, per distinct neighbor AS, whether each UG's AS is in its
+  // customer cone; transit sessions are compliant for everyone.
+  std::unordered_map<util::AsId, std::vector<util::PeeringId>> sessions_by_as;
+  for (const Peering& p : deployment.peerings()) {
+    sessions_by_as[p.peer].push_back(p.id);
+  }
+  for (const auto& [peer, sessions] : sessions_by_as) {
+    const bool transit = deployment.peering(sessions.front()).transit;
+    for (const UserGroup& ug : deployment.ugs()) {
+      const bool direct = ug.as == peer;
+      if (transit || direct || g.InCustomerCone(ug.as, peer)) {
+        auto& list = compliant_[ug.id.value()];
+        list.insert(list.end(), sessions.begin(), sessions.end());
+      }
+    }
+  }
+  for (auto& list : compliant_) std::sort(list.begin(), list.end());
+}
+
+bool PolicyCatalog::IsCompliant(util::UgId ug, util::PeeringId peering) const {
+  const auto& list = compliant_.at(ug.value());
+  return std::binary_search(list.begin(), list.end(), peering);
+}
+
+double PolicyCatalog::MeanCompliantPerUg() const {
+  if (compliant_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& list : compliant_) total += list.size();
+  return static_cast<double>(total) / static_cast<double>(compliant_.size());
+}
+
+}  // namespace painter::cloudsim

@@ -1,0 +1,93 @@
+// Ingress resolution: where traffic actually enters the cloud.
+//
+// Given an advertisement (a set of peering sessions carrying a prefix), the
+// interdomain outcome determines, per user group, the *entry AS* (BGP, policy
+// driven, latency oblivious) and then the entry AS's exit policy picks the
+// PoP among the sessions where it heard the prefix (hot potato for most ASes,
+// fixed/cold potato for some — the paper's inflating transit providers). This
+// file also derives the *policy-compliant ingress* catalog the orchestrator
+// reasons over: a peering can serve a UG if the UG's AS is in the peer's
+// customer cone or the peering is with one of the cloud's transit providers
+// (§3.1).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bgpsim/engine.h"
+#include "cloudsim/deployment.h"
+
+namespace painter::cloudsim {
+
+// Intra-AS exit idiosyncrasies. Predicting where traffic ingresses is hard
+// (§3.1, [64, 111]): some (entry AS, client region) pairs consistently exit
+// toward a PoP that is *not* the nearest — the paper's "many New York users
+// preferred an ingress in Amsterdam" surprise, which the Advertisement
+// Orchestrator must learn. Quirky pairs pick their exit by rendezvous
+// hashing over the AS's advertised sessions, so the choice is stable across
+// advertisement changes (and therefore learnable).
+struct ExitQuirkConfig {
+  double quirk_prob = 0.03;  // fraction of (AS, metro) pairs with a quirk
+  std::uint64_t seed = 0x9e37;
+};
+
+class IngressResolver {
+ public:
+  IngressResolver(const topo::Internet& internet, const Deployment& deployment,
+                  ExitQuirkConfig quirks = {});
+
+  // Resolves, for every UG, the peering its traffic ingresses through when
+  // `advertised` carries the prefix. nullopt = no route (prefix unreachable
+  // from that UG).
+  [[nodiscard]] std::vector<std::optional<util::PeeringId>> Resolve(
+      std::span<const util::PeeringId> advertised) const;
+
+  // Same resolution but also exposes the interdomain routing outcome (used by
+  // the resilience analysis, which needs full AS paths).
+  struct Result {
+    std::vector<std::optional<util::PeeringId>> ingress_of_ug;
+    bgpsim::RoutingOutcome outcome;
+  };
+  [[nodiscard]] Result ResolveWithRoutes(
+      std::span<const util::PeeringId> advertised) const;
+
+  // The PoP the entry AS would exit through for this UG, among `options`
+  // (session ids all belonging to `entry`). Applies the entry AS exit policy.
+  [[nodiscard]] util::PeeringId PickExit(
+      util::AsId entry, util::MetroId ug_metro,
+      std::span<const util::PeeringId> options) const;
+
+  [[nodiscard]] const topo::AsGraph& graph() const { return internet_->graph; }
+
+ private:
+  const topo::Internet* internet_;
+  const Deployment* deployment_;
+  ExitQuirkConfig quirks_;
+  bgpsim::BgpEngine engine_;
+};
+
+// Policy-compliant ingress catalog: for each UG, the sessions that could
+// carry its traffic under some advertisement. Exact here (we own the ground
+// truth relationships); in the paper this is inferred from BGP feeds +
+// ProbLink cones and validated at ~96% (§3.1).
+class PolicyCatalog {
+ public:
+  PolicyCatalog(const topo::Internet& internet, const Deployment& deployment);
+
+  [[nodiscard]] std::span<const util::PeeringId> CompliantPeerings(
+      util::UgId ug) const {
+    return compliant_.at(ug.value());
+  }
+
+  [[nodiscard]] bool IsCompliant(util::UgId ug, util::PeeringId peering) const;
+
+  // Average number of compliant sessions per UG (the paper notes UGs have
+  // paths via a small fraction of ingresses, which keeps Alg. 1 fast, §4).
+  [[nodiscard]] double MeanCompliantPerUg() const;
+
+ private:
+  std::vector<std::vector<util::PeeringId>> compliant_;
+};
+
+}  // namespace painter::cloudsim

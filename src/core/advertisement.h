@@ -1,0 +1,69 @@
+// Advertisement configurations.
+//
+// The paper models an advertisement configuration A as a set of
+// (peering, prefix) pairs: (peering, prefix) ∈ A means the prefix is
+// announced over that peering session (§3.1). We group by prefix: a
+// configuration is a list of prefixes, each carrying the sorted set of
+// sessions announcing it. Prefix ids are positional (index in the list); the
+// anycast prefix is implicit — the cloud always keeps announcing it (§3).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace painter::core {
+
+class AdvertisementConfig {
+ public:
+  AdvertisementConfig() = default;
+
+  // Appends a new prefix announced via `sessions`; returns its index.
+  std::size_t AddPrefix(std::vector<util::PeeringId> sessions) {
+    std::sort(sessions.begin(), sessions.end());
+    sessions.erase(std::unique(sessions.begin(), sessions.end()),
+                   sessions.end());
+    prefixes_.push_back(std::move(sessions));
+    return prefixes_.size() - 1;
+  }
+
+  // Adds a session to an existing prefix, keeping the set sorted.
+  void AddToPrefix(std::size_t prefix, util::PeeringId session) {
+    auto& s = prefixes_.at(prefix);
+    const auto it = std::lower_bound(s.begin(), s.end(), session);
+    if (it == s.end() || *it != session) s.insert(it, session);
+  }
+
+  [[nodiscard]] std::size_t PrefixCount() const { return prefixes_.size(); }
+
+  // Prefixes actually carrying at least one announcement (the budget used).
+  [[nodiscard]] std::size_t NonEmptyPrefixCount() const {
+    std::size_t n = 0;
+    for (const auto& s : prefixes_) n += s.empty() ? 0 : 1;
+    return n;
+  }
+
+  [[nodiscard]] const std::vector<util::PeeringId>& Sessions(
+      std::size_t prefix) const {
+    return prefixes_.at(prefix);
+  }
+
+  [[nodiscard]] bool Contains(std::size_t prefix, util::PeeringId s) const {
+    const auto& v = prefixes_.at(prefix);
+    return std::binary_search(v.begin(), v.end(), s);
+  }
+
+  // Total number of (peering, prefix) announcement pairs.
+  [[nodiscard]] std::size_t AnnouncementCount() const {
+    std::size_t n = 0;
+    for (const auto& s : prefixes_) n += s.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<util::PeeringId>> prefixes_;
+};
+
+}  // namespace painter::core

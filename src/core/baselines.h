@@ -1,0 +1,44 @@
+// Baseline advertisement strategies the paper compares against (§5.1.2).
+//
+//  - Anycast: the default configuration D — one prefix via every peering.
+//  - One per PoP: each PoP announces its own prefix via all of its peerings;
+//    a budget of b prefixes covers the b most valuable PoPs.
+//  - One per PoP w/ Reuse: as above, but PoPs at least D_reuse km apart may
+//    share a prefix, packing all PoPs into fewer prefixes.
+//  - One per Peering: a unique prefix per peering session — no reuse, no
+//    uncertainty, guaranteed full benefit at full budget; sessions are ranked
+//    by their standalone weighted improvement so partial budgets take the
+//    most valuable sessions first.
+//  - Regional transit: one prefix per geographic region announced via the
+//    transit-provider sessions at that region's PoPs (the strategy Azure uses
+//    for some services; the paper found it adds little and drops it from the
+//    figures — we keep it for the same comparison).
+#pragma once
+
+#include "core/advertisement.h"
+#include "core/problem.h"
+#include "cloudsim/deployment.h"
+#include "topo/generator.h"
+
+namespace painter::core {
+
+[[nodiscard]] AdvertisementConfig AnycastConfig(
+    const cloudsim::Deployment& deployment);
+
+[[nodiscard]] AdvertisementConfig OnePerPop(
+    const cloudsim::Deployment& deployment, const ProblemInstance& instance,
+    std::size_t budget);
+
+[[nodiscard]] AdvertisementConfig OnePerPopWithReuse(
+    const topo::Internet& internet, const cloudsim::Deployment& deployment,
+    const ProblemInstance& instance, std::size_t budget, double d_reuse_km);
+
+[[nodiscard]] AdvertisementConfig OnePerPeering(
+    const cloudsim::Deployment& deployment, const ProblemInstance& instance,
+    std::size_t budget);
+
+[[nodiscard]] AdvertisementConfig RegionalTransit(
+    const topo::Internet& internet, const cloudsim::Deployment& deployment,
+    std::size_t regions);
+
+}  // namespace painter::core

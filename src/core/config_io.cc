@@ -1,0 +1,99 @@
+#include "core/config_io.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace painter::core {
+namespace {
+
+constexpr const char* kHeader = "# painter-advertisement-config v1";
+
+bool SetError(ParseError* error, std::size_t line, std::string message) {
+  if (error != nullptr) {
+    error->line = line;
+    error->message = std::move(message);
+  }
+  return false;
+}
+
+}  // namespace
+
+void WriteConfig(std::ostream& os, const AdvertisementConfig& config) {
+  os << kHeader << "\n";
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    os << "prefix " << p << ":";
+    for (const auto sid : config.Sessions(p)) os << ' ' << sid.value();
+    os << "\n";
+  }
+}
+
+std::string ConfigToString(const AdvertisementConfig& config) {
+  std::ostringstream os;
+  WriteConfig(os, config);
+  return os.str();
+}
+
+std::optional<AdvertisementConfig> ReadConfig(
+    std::istream& is, const cloudsim::Deployment* deployment,
+    ParseError* error) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  if (!std::getline(is, line) || line != kHeader) {
+    SetError(error, 1, "missing or unrecognized header");
+    return std::nullopt;
+  }
+  ++line_no;
+
+  AdvertisementConfig config;
+  std::size_t expected_prefix = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    std::istringstream ls{line};
+    std::string keyword;
+    std::size_t index = 0;
+    char colon = '\0';
+    ls >> keyword >> index >> colon;
+    if (keyword != "prefix" || colon != ':' || ls.fail()) {
+      SetError(error, line_no, "expected 'prefix <n>: <sessions...>'");
+      return std::nullopt;
+    }
+    if (index != expected_prefix) {
+      SetError(error, line_no, "prefix indices must be dense and in order");
+      return std::nullopt;
+    }
+    std::vector<util::PeeringId> sessions;
+    std::uint64_t raw = 0;
+    while (ls >> raw) {
+      if (deployment != nullptr && raw >= deployment->peerings().size()) {
+        SetError(error, line_no,
+                 "session id " + std::to_string(raw) +
+                     " not in the deployment");
+        return std::nullopt;
+      }
+      sessions.push_back(util::PeeringId{static_cast<std::uint32_t>(raw)});
+    }
+    if (!ls.eof()) {
+      SetError(error, line_no, "malformed session id");
+      return std::nullopt;
+    }
+    if (sessions.empty()) {
+      SetError(error, line_no, "prefix with no sessions");
+      return std::nullopt;
+    }
+    config.AddPrefix(std::move(sessions));
+    ++expected_prefix;
+  }
+  return config;
+}
+
+std::optional<AdvertisementConfig> ConfigFromString(
+    const std::string& text, const cloudsim::Deployment* deployment,
+    ParseError* error) {
+  std::istringstream is{text};
+  return ReadConfig(is, deployment, error);
+}
+
+}  // namespace painter::core

@@ -1,0 +1,266 @@
+#include "core/evaluate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace painter::core {
+
+Orchestrator::Prediction PredictBenefit(const ProblemInstance& instance,
+                                        const RoutingModel& model,
+                                        const AdvertisementConfig& config,
+                                        const ExpectationParams& params) {
+  Orchestrator::Prediction pred;
+  if (instance.total_weight == 0.0) return pred;
+
+  // Appendix E.1 semantics: each UG selects the prefix with the best Mean
+  // expectation (Eq. 2) and the reported range is that prefix's possible
+  // ingress outcomes. Anycast stays available per flow, so each benefit is
+  // floored at zero — but a UG on a reused prefix may realize anywhere in
+  // [lower, upper], which is exactly the uncertainty One-per-PoP strategies
+  // suffer from and One-per-Peering never has.
+  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
+    const double any = instance.anycast_rtt_ms[u];
+    const PrefixExpectation* best = nullptr;
+    PrefixExpectation scratch;
+    for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+      const PrefixExpectation e =
+          ComputeExpectation(instance, model, u, config.Sessions(p), params);
+      if (!e.usable) continue;
+      if (best == nullptr || e.mean_rtt < best->mean_rtt) {
+        scratch = e;
+        best = &scratch;
+      }
+    }
+    if (best == nullptr || best->mean_rtt >= any) continue;  // keeps anycast
+    const double w = instance.ug_weight[u];
+    pred.upper_ms += w * std::max(0.0, any - best->lower_rtt);
+    pred.mean_ms += w * std::max(0.0, any - best->mean_rtt);
+    pred.estimated_ms += w * std::max(0.0, any - best->estimated_rtt);
+    pred.lower_ms += w * std::max(0.0, any - best->upper_rtt);
+  }
+  pred.lower_ms /= instance.total_weight;
+  pred.mean_ms /= instance.total_weight;
+  pred.estimated_ms /= instance.total_weight;
+  pred.upper_ms /= instance.total_weight;
+  return pred;
+}
+
+GroundTruthEvaluator::GroundTruthEvaluator(
+    const cloudsim::Deployment& deployment,
+    const cloudsim::IngressResolver& resolver,
+    const measure::LatencyOracle& oracle)
+    : deployment_(&deployment), resolver_(&resolver), oracle_(&oracle) {
+  std::vector<util::PeeringId> all;
+  all.reserve(deployment.peerings().size());
+  for (const auto& p : deployment.peerings()) all.push_back(p.id);
+  anycast_ingress_ = resolver.Resolve(all);
+}
+
+void GroundTruthEvaluator::SetConfig(const AdvertisementConfig& config) {
+  prefix_ingress_.clear();
+  prefix_ingress_.reserve(config.PrefixCount());
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    prefix_ingress_.push_back(resolver_->Resolve(config.Sessions(p)));
+  }
+}
+
+double GroundTruthEvaluator::RttOf(std::uint32_t u, int prefix,
+                                   int day) const {
+  const auto& ingress = prefix < 0
+                            ? anycast_ingress_.at(u)
+                            : prefix_ingress_.at(static_cast<std::size_t>(prefix)).at(u);
+  if (!ingress.has_value()) return std::numeric_limits<double>::infinity();
+  return oracle_->TrueRttOnDay(util::UgId{u}, *ingress, day).count();
+}
+
+double GroundTruthEvaluator::MeanImprovementMs(int day) const {
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (const auto& ug : deployment_->ugs()) {
+    const std::uint32_t u = ug.id.value();
+    const double any = RttOf(u, -1, day);
+    double best = any;
+    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+      best = std::min(best, RttOf(u, static_cast<int>(p), day));
+    }
+    if (std::isfinite(any)) {
+      acc += ug.traffic_weight * (any - best);
+      wsum += ug.traffic_weight;
+    }
+  }
+  return wsum == 0.0 ? 0.0 : acc / wsum;
+}
+
+double GroundTruthEvaluator::PositiveMeanImprovementMs(int day) const {
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (const auto& ug : deployment_->ugs()) {
+    const std::uint32_t u = ug.id.value();
+    const double any = RttOf(u, -1, day);
+    double best = any;
+    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+      best = std::min(best, RttOf(u, static_cast<int>(p), day));
+    }
+    const double imp = any - best;
+    if (std::isfinite(any) && imp > 1e-9) {
+      acc += ug.traffic_weight * imp;
+      wsum += ug.traffic_weight;
+    }
+  }
+  return wsum == 0.0 ? 0.0 : acc / wsum;
+}
+
+double GroundTruthEvaluator::MeanImprovementOverUgsMs(
+    const std::vector<std::uint32_t>& ugs, int day) const {
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (const std::uint32_t u : ugs) {
+    const auto& ug = deployment_->ug(util::UgId{u});
+    const double any = RttOf(u, -1, day);
+    if (!std::isfinite(any)) continue;
+    double best = any;
+    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+      best = std::min(best, RttOf(u, static_cast<int>(p), day));
+    }
+    acc += ug.traffic_weight * (any - best);
+    wsum += ug.traffic_weight;
+  }
+  return wsum == 0.0 ? 0.0 : acc / wsum;
+}
+
+std::vector<std::uint32_t> GroundTruthEvaluator::BenefitingUgs(
+    const cloudsim::PolicyCatalog& catalog, double threshold_ms) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& ug : deployment_->ugs()) {
+    const double any = RttOf(ug.id.value(), -1, 0);
+    if (!std::isfinite(any)) continue;
+    double best = any;
+    for (util::PeeringId pid : catalog.CompliantPeerings(ug.id)) {
+      best = std::min(best, oracle_->TrueRtt(ug.id, pid).count());
+    }
+    if (any - best > threshold_ms) out.push_back(ug.id.value());
+  }
+  return out;
+}
+
+std::vector<int> GroundTruthEvaluator::Choices(int day) const {
+  std::vector<int> choices(deployment_->ugs().size(), -1);
+  for (const auto& ug : deployment_->ugs()) {
+    const std::uint32_t u = ug.id.value();
+    double best = RttOf(u, -1, day);
+    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+      const double rtt = RttOf(u, static_cast<int>(p), day);
+      if (rtt < best) {
+        best = rtt;
+        choices[u] = static_cast<int>(p);
+      }
+    }
+  }
+  return choices;
+}
+
+double GroundTruthEvaluator::MeanImprovementStaticMs(
+    const std::vector<int>& choices, int day) const {
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (const auto& ug : deployment_->ugs()) {
+    const std::uint32_t u = ug.id.value();
+    const double any = RttOf(u, -1, day);
+    if (!std::isfinite(any)) continue;
+    double used = RttOf(u, choices.at(u), day);
+    if (!std::isfinite(used)) used = any;  // pinned prefix unreachable
+    acc += ug.traffic_weight * (any - used);
+    wsum += ug.traffic_weight;
+  }
+  return wsum == 0.0 ? 0.0 : acc / wsum;
+}
+
+double GroundTruthEvaluator::PossibleMeanImprovementMs(
+    const cloudsim::PolicyCatalog& catalog, int day) const {
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (const auto& ug : deployment_->ugs()) {
+    const std::uint32_t u = ug.id.value();
+    const double any = RttOf(u, -1, day);
+    if (!std::isfinite(any)) continue;
+    double best = any;
+    for (util::PeeringId pid : catalog.CompliantPeerings(ug.id)) {
+      best = std::min(best,
+                      oracle_->TrueRttOnDay(ug.id, pid, day).count());
+    }
+    acc += ug.traffic_weight * (any - best);
+    wsum += ug.traffic_weight;
+  }
+  return wsum == 0.0 ? 0.0 : acc / wsum;
+}
+
+double EvaluateDnsSteering(const ProblemInstance& instance,
+                           const RoutingModel& model,
+                           const AdvertisementConfig& config,
+                           const ExpectationParams& params,
+                           const DnsSteeringInput& dns) {
+  if (instance.total_weight == 0.0) return 0.0;
+  const std::size_t n_resolvers = dns.resolver_supports_ecs.size();
+
+  // Modeled RTT per (UG, prefix); -1 column is anycast.
+  const std::size_t cols = config.PrefixCount();
+  std::vector<std::vector<double>> rtt(instance.UgCount(),
+                                       std::vector<double>(cols, 0.0));
+  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
+    for (std::size_t p = 0; p < cols; ++p) {
+      const PrefixExpectation e =
+          ComputeExpectation(instance, model, u, config.Sessions(p), params);
+      rtt[u][p] = e.usable ? e.mean_rtt
+                           : std::numeric_limits<double>::infinity();
+    }
+  }
+
+  // Per resolver: pick the single prefix (or anycast) with the best aggregate
+  // improvement over its client UGs.
+  std::vector<int> prefix_of_resolver(n_resolvers, -1);
+  std::vector<std::vector<std::uint32_t>> ugs_of_resolver(n_resolvers);
+  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
+    ugs_of_resolver.at(dns.resolver_of_ug.at(u)).push_back(u);
+  }
+  for (std::size_t r = 0; r < n_resolvers; ++r) {
+    if (dns.resolver_supports_ecs[r]) continue;  // handled per UG below
+    double best_agg = 0.0;  // anycast baseline: zero improvement
+    for (std::size_t p = 0; p < cols; ++p) {
+      double agg = 0.0;
+      for (std::uint32_t u : ugs_of_resolver[r]) {
+        if (!std::isfinite(rtt[u][p])) continue;  // falls back to anycast
+        agg += instance.ug_weight[u] * (instance.anycast_rtt_ms[u] - rtt[u][p]);
+      }
+      if (agg > best_agg) {
+        best_agg = agg;
+        prefix_of_resolver[r] = static_cast<int>(p);
+      }
+    }
+  }
+
+  double acc = 0.0;
+  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
+    const std::uint32_t r = dns.resolver_of_ug[u];
+    double used = instance.anycast_rtt_ms[u];
+    if (dns.resolver_supports_ecs[r]) {
+      // ECS: the resolver can tailor the record per client /24 == per UG.
+      for (std::size_t p = 0; p < cols; ++p) used = std::min(used, rtt[u][p]);
+    } else if (prefix_of_resolver[r] >= 0) {
+      const double v = rtt[u][static_cast<std::size_t>(prefix_of_resolver[r])];
+      if (std::isfinite(v)) used = v;  // may be worse than anycast for this UG
+    }
+    acc += instance.ug_weight[u] * (instance.anycast_rtt_ms[u] - used);
+  }
+  return acc / instance.total_weight;
+}
+
+AdvertisementConfig Truncate(const AdvertisementConfig& config,
+                             std::size_t budget) {
+  AdvertisementConfig out;
+  for (std::size_t p = 0; p < config.PrefixCount() && p < budget; ++p) {
+    out.AddPrefix(config.Sessions(p));
+  }
+  return out;
+}
+
+}  // namespace painter::core

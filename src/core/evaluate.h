@@ -1,0 +1,107 @@
+// Evaluation helpers shared by the benchmark harnesses.
+//
+// Two views of a configuration's quality, matching the paper's two settings:
+//
+//  - Model-based (Fig. 6a, 9b, 14): what the orchestrator's Eq. 2 expectation
+//    predicts, reported as the full lower/mean/estimated/upper range since a
+//    UG's realized ingress on a reused prefix is uncertain until observed.
+//  - Ground-truth (Fig. 6b, 6c, 7): actually announce each prefix into the
+//    BGP simulation, look up each UG's true RTT via its resolved ingress, and
+//    report the realized improvement. Day-indexed so Fig. 7's persistence
+//    analysis can replay the same configuration against drifting latencies.
+//
+// Also: DNS-constrained steering (Fig. 9b) where each recursive resolver maps
+// all of its UGs to a single prefix (per-/24 for ECS resolvers).
+#pragma once
+
+#include <vector>
+
+#include "core/advertisement.h"
+#include "core/orchestrator.h"
+#include "core/problem.h"
+#include "core/routing_model.h"
+#include "cloudsim/ingress.h"
+#include "measure/latency.h"
+
+namespace painter::core {
+
+// Model-predicted weighted-average improvement over anycast (ms) for each
+// range kind. The Traffic Manager steers per flow across all prefixes with
+// anycast as the floor, so per-UG improvements are >= 0.
+[[nodiscard]] Orchestrator::Prediction PredictBenefit(
+    const ProblemInstance& instance, const RoutingModel& model,
+    const AdvertisementConfig& config, const ExpectationParams& params);
+
+// Ground-truth evaluation: resolves each prefix once (BGP is static in the
+// simulation) and replays latencies by day.
+class GroundTruthEvaluator {
+ public:
+  GroundTruthEvaluator(const cloudsim::Deployment& deployment,
+                       const cloudsim::IngressResolver& resolver,
+                       const measure::LatencyOracle& oracle);
+
+  void SetConfig(const AdvertisementConfig& config);
+
+  // Weighted-average improvement with per-flow steering (UG takes the best of
+  // anycast and every prefix) at `day`.
+  [[nodiscard]] double MeanImprovementMs(int day) const;
+
+  // Same, averaged over UGs with positive improvement only.
+  [[nodiscard]] double PositiveMeanImprovementMs(int day) const;
+
+  // Weighted-average improvement over a fixed UG subset (Fig. 6b averages
+  // over the clients that have any improvement available at all — in the
+  // paper ~8k of 40k UGs — so curves are comparable across budgets).
+  [[nodiscard]] double MeanImprovementOverUgsMs(
+      const std::vector<std::uint32_t>& ugs, int day) const;
+
+  // UGs whose best compliant ingress beats anycast by more than
+  // `threshold_ms` at day 0 — the "clients with non-zero improvement" set.
+  [[nodiscard]] std::vector<std::uint32_t> BenefitingUgs(
+      const cloudsim::PolicyCatalog& catalog, double threshold_ms = 1.0) const;
+
+  // Per-UG prefix choice at `day`: index into the config, or -1 for anycast.
+  [[nodiscard]] std::vector<int> Choices(int day) const;
+
+  // Improvement when UGs are pinned to `choices` (made at an earlier day) —
+  // the "Static Prefix Choices" lines of Fig. 7. May be negative per-UG.
+  [[nodiscard]] double MeanImprovementStaticMs(const std::vector<int>& choices,
+                                               int day) const;
+
+  // Upper bound: every UG on its best compliant ingress at `day`.
+  [[nodiscard]] double PossibleMeanImprovementMs(
+      const cloudsim::PolicyCatalog& catalog, int day) const;
+
+ private:
+  [[nodiscard]] double RttOf(std::uint32_t u, int prefix, int day) const;
+
+  const cloudsim::Deployment* deployment_;
+  const cloudsim::IngressResolver* resolver_;
+  const measure::LatencyOracle* oracle_;
+
+  std::vector<std::optional<util::PeeringId>> anycast_ingress_;
+  // Per prefix: resolved ingress per UG.
+  std::vector<std::vector<std::optional<util::PeeringId>>> prefix_ingress_;
+};
+
+// DNS-steered variant of a configuration (Fig. 9b): resolver r's UGs are all
+// directed to the single prefix maximizing r's aggregate modeled benefit;
+// resolvers supporting ECS steer each UG (≈ /24) independently. Returns the
+// weighted-average improvement in ms (can be diluted well below the per-flow
+// figure when a resolver serves UGs with conflicting best prefixes).
+struct DnsSteeringInput {
+  std::vector<std::uint32_t> resolver_of_ug;  // indexed by UG id
+  std::vector<bool> resolver_supports_ecs;    // indexed by resolver id
+};
+[[nodiscard]] double EvaluateDnsSteering(const ProblemInstance& instance,
+                                         const RoutingModel& model,
+                                         const AdvertisementConfig& config,
+                                         const ExpectationParams& params,
+                                         const DnsSteeringInput& dns);
+
+// Truncates `config` to its first `budget` prefixes (greedy order makes the
+// truncation the budget-constrained solution).
+[[nodiscard]] AdvertisementConfig Truncate(const AdvertisementConfig& config,
+                                           std::size_t budget);
+
+}  // namespace painter::core

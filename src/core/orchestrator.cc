@@ -1,0 +1,213 @@
+#include "core/orchestrator.h"
+
+#include "core/evaluate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace painter::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Orchestrator::Orchestrator(const ProblemInstance& instance,
+                           OrchestratorConfig config)
+    : instance_(&instance), config_(config), model_(instance.UgCount()) {}
+
+AdvertisementConfig Orchestrator::ComputeConfig() const {
+  const ProblemInstance& inst = *instance_;
+  const ExpectationParams params = config_.Expectation();
+  const std::size_t n_ug = inst.UgCount();
+
+  AdvertisementConfig cc;
+
+  // Best expected RTT per UG over anycast + all *completed* prefixes. The
+  // prefix currently under construction is tracked separately since adding a
+  // peering can change (even worsen) its expectation.
+  std::vector<double> base_best(inst.anycast_rtt_ms);
+
+  std::vector<double> cur_e(n_ug, kInf);  // E of the in-progress prefix
+  std::vector<util::PeeringId> sessions;  // its advertised sessions, sorted
+  // Per-UG candidate list for the in-progress prefix: the UG's compliant
+  // options among `sessions`, maintained incrementally so each marginal
+  // evaluation is O(|candidates|) instead of an intersection walk.
+  std::vector<std::vector<const IngressOption*>> cands(n_ug);
+  std::vector<const IngressOption*> trial;
+
+  for (std::size_t p = 0; p < config_.prefix_budget; ++p) {
+    sessions.clear();
+    std::fill(cur_e.begin(), cur_e.end(), kInf);
+    for (auto& c : cands) c.clear();
+
+    // Inner loop of Algorithm 1: add peerings while one yields positive
+    // marginal benefit (Eq. 1 over modelled expectations).
+    //
+    // Lazy (CELF-style) selection: marginal benefits only shrink as the
+    // configuration accumulates sessions (each UG's best expected RTT is
+    // monotonically non-increasing), so a candidate whose *stale* marginal
+    // already trails the current best fresh one need not be re-evaluated.
+    // This turns the O(#sessions) rescan per commit into a handful of
+    // re-evaluations. (Reuse can occasionally *raise* a marginal by harming
+    // a UG's expectation on this prefix — a second-order effect the lazy
+    // schedule may miss; Algorithm 1 is a greedy heuristic either way.)
+    auto marginal_of = [&](util::PeeringId gid) {
+      double delta = 0.0;
+      for (std::uint32_t u : inst.ugs_with_peering[gid.value()]) {
+        const IngressOption* opt = inst.Option(u, gid);
+        trial.assign(cands[u].begin(), cands[u].end());
+        trial.push_back(opt);
+        const PrefixExpectation e =
+            ComputeExpectationFromCandidates(model_, u, trial, params);
+        const double new_e = e.usable ? e.mean_rtt : kInf;
+        const double old_best = std::min(base_best[u], cur_e[u]);
+        const double new_best = std::min(base_best[u], new_e);
+        delta += inst.ug_weight[u] * (old_best - new_best);
+      }
+      return delta;
+    };
+
+    struct Scored {
+      double delta;
+      std::uint64_t round;  // commit-round the delta was computed at
+      util::PeeringId peering;
+      bool operator<(const Scored& o) const {
+        if (delta != o.delta) return delta < o.delta;
+        return o.peering < peering;  // deterministic: lower id first
+      }
+    };
+    std::priority_queue<Scored> heap;
+    std::uint64_t round = 0;
+    for (std::uint32_t g = 0; g < inst.peering_count; ++g) {
+      if (inst.ugs_with_peering[g].empty()) continue;
+      const double d = marginal_of(util::PeeringId{g});
+      if (d > 0.0) heap.push(Scored{d, round, util::PeeringId{g}});
+    }
+
+    while (!heap.empty()) {
+      Scored top = heap.top();
+      heap.pop();
+      if (std::binary_search(sessions.begin(), sessions.end(), top.peering)) {
+        continue;
+      }
+      if (top.round != round) {
+        const double fresh = marginal_of(top.peering);
+        if (fresh > 0.0) heap.push(Scored{fresh, round, top.peering});
+        continue;
+      }
+      // Fresh and at the top: this is the argmax. Commit it.
+      ++round;
+      sessions.insert(
+          std::lower_bound(sessions.begin(), sessions.end(), top.peering),
+          top.peering);
+      for (std::uint32_t u : inst.ugs_with_peering[top.peering.value()]) {
+        cands[u].push_back(inst.Option(u, top.peering));
+        const PrefixExpectation e =
+            ComputeExpectationFromCandidates(model_, u, cands[u], params);
+        cur_e[u] = e.usable ? e.mean_rtt : kInf;
+      }
+      if (!config_.enable_reuse) break;  // ablation: one peering per prefix
+    }
+
+    if (sessions.empty()) break;  // no peering helps; further prefixes won't
+    cc.AddPrefix(sessions);
+    for (std::uint32_t u = 0; u < n_ug; ++u) {
+      base_best[u] = std::min(base_best[u], cur_e[u]);
+    }
+  }
+  return cc;
+}
+
+Orchestrator::Prediction Orchestrator::Predict(
+    const AdvertisementConfig& config) const {
+  return PredictBenefit(*instance_, model_, config, config_.Expectation());
+}
+
+void Orchestrator::Absorb(
+    const AdvertisementConfig& config,
+    const std::vector<AdvertisementEnvironment::PrefixObservation>&
+        observations) {
+  const ProblemInstance& inst = *instance_;
+  std::vector<util::PeeringId> candidates;
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    if (p >= observations.size()) break;
+    const auto& obs = observations[p];
+    const auto& sessions = config.Sessions(p);
+    for (std::uint32_t u = 0; u < inst.UgCount(); ++u) {
+      const auto& ingress = obs.ingress_of_ug.at(u);
+      if (!ingress.has_value()) continue;
+      // Candidates the UG could have used on this prefix: its compliant
+      // options among the advertised sessions.
+      candidates.clear();
+      for (const IngressOption& opt : inst.options[u]) {
+        if (std::binary_search(sessions.begin(), sessions.end(),
+                               opt.peering)) {
+          candidates.push_back(opt.peering);
+        }
+      }
+      model_.ObservePreference(u, *ingress, candidates);
+      model_.ObserveLatency(u, *ingress, obs.rtt_ms_of_ug.at(u));
+    }
+  }
+}
+
+std::vector<Orchestrator::IterationReport> Orchestrator::Learn(
+    AdvertisementEnvironment& env) {
+  const ProblemInstance& inst = *instance_;
+  std::vector<IterationReport> reports;
+
+  for (std::size_t iter = 0; iter < config_.max_learning_iterations; ++iter) {
+    IterationReport report;
+    report.config = ComputeConfig();
+    report.predicted = Predict(report.config);
+    report.prefixes_used = report.config.NonEmptyPrefixCount();
+
+    const auto observations = env.Execute(report.config);
+
+    // Realized benefit: each UG's Traffic Manager measures all prefixes it
+    // can reach and steers to the best, with anycast as the floor option.
+    double acc = 0.0;
+    double acc_pos = 0.0;
+    double w_pos = 0.0;
+    for (std::uint32_t u = 0; u < inst.UgCount(); ++u) {
+      double best = inst.anycast_rtt_ms[u];
+      for (const auto& obs : observations) {
+        if (obs.ingress_of_ug.at(u).has_value()) {
+          best = std::min(best, obs.rtt_ms_of_ug.at(u));
+        }
+      }
+      const double imp = inst.anycast_rtt_ms[u] - best;
+      acc += inst.ug_weight[u] * imp;
+      if (imp > 1e-9) {
+        acc_pos += inst.ug_weight[u] * imp;
+        w_pos += inst.ug_weight[u];
+      }
+    }
+    report.realized_ms = inst.total_weight == 0 ? 0 : acc / inst.total_weight;
+    report.realized_positive_ms = w_pos == 0 ? 0 : acc_pos / w_pos;
+
+    if (config_.enable_learning) Absorb(report.config, observations);
+    reports.push_back(std::move(report));
+    if (!config_.enable_learning) break;
+
+    // Patience-based termination: learning routinely dips for an iteration
+    // while the model digests surprising observations, so stop only when the
+    // best realized benefit has been flat for `learning_patience` rounds.
+    double best = 0.0;
+    std::size_t best_at = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      if (reports[i].realized_ms >
+          best * (1.0 + config_.learning_stop_frac)) {
+        best = reports[i].realized_ms;
+        best_at = i;
+      }
+    }
+    if (reports.size() - 1 - best_at >= config_.learning_patience) break;
+  }
+  return reports;
+}
+
+}  // namespace painter::core

@@ -1,0 +1,120 @@
+// The Advertisement Orchestrator (§3.1, Algorithm 1).
+//
+// Given a prefix budget PB and minimum reuse distance D_reuse, greedily
+// allocates prefixes to peerings: for each prefix, repeatedly add the peering
+// with the highest positive marginal benefit (Eq. 1 evaluated with the
+// Eq. 2 expectation under the current routing model), stopping when no
+// peering adds positive benefit, then move to the next prefix. Reuse —
+// advertising one prefix via multiple peerings — accumulates benefit without
+// exhausting the budget, guarded by the D_reuse exclusion so reuse does not
+// inflate anyone's expectation.
+//
+// Learning loop: after computing a configuration, the orchestrator executes
+// it against an AdvertisementEnvironment (the prototype on the simulated
+// Internet, or a real cloud in the paper's deployment), observes which
+// ingress each UG actually landed on and at what RTT, folds those into the
+// RoutingModel, and recomputes. Iterations terminate when realized benefit
+// stops improving (§3.1 "terminate learning when little marginal benefit
+// increase") or after max_learning_iterations.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/advertisement.h"
+#include "core/problem.h"
+#include "core/routing_model.h"
+
+namespace painter::core {
+
+struct OrchestratorConfig {
+  std::size_t prefix_budget = 25;
+  double d_reuse_km = 3000.0;
+  double inflation_decay_km = 4000.0;
+
+  std::size_t max_learning_iterations = 8;
+  // Stop learning when the best realized benefit so far has not improved by
+  // at least this fraction for `learning_patience` consecutive iterations
+  // (§3.1: "terminate learning when little marginal benefit increase").
+  double learning_stop_frac = 0.01;
+  std::size_t learning_patience = 2;
+
+  // Ablations.
+  bool enable_reuse = true;     // false: one peering per prefix (no reuse)
+  bool enable_learning = true;  // false: never update the routing model
+
+  [[nodiscard]] ExpectationParams Expectation() const {
+    return ExpectationParams{.d_reuse_km = d_reuse_km,
+                             .inflation_decay_km = inflation_decay_km};
+  }
+};
+
+// Feedback channel: "execute_advertisement" in Algorithm 1. Implementations
+// actually announce the configuration and report, per prefix and UG, the
+// observed ingress and measured RTT.
+class AdvertisementEnvironment {
+ public:
+  virtual ~AdvertisementEnvironment() = default;
+
+  struct PrefixObservation {
+    // Indexed by UG id value; nullopt = UG had no route to this prefix.
+    std::vector<std::optional<util::PeeringId>> ingress_of_ug;
+    // RTT measured by the UG's TM-Edge; valid where ingress is set.
+    std::vector<double> rtt_ms_of_ug;
+  };
+
+  // One observation per prefix in `config`, in order.
+  [[nodiscard]] virtual std::vector<PrefixObservation> Execute(
+      const AdvertisementConfig& config) = 0;
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(const ProblemInstance& instance, OrchestratorConfig config);
+
+  // One greedy pass (the body of Algorithm 1's learning iteration) under the
+  // current routing model.
+  [[nodiscard]] AdvertisementConfig ComputeConfig() const;
+
+  // Predicted weighted-average improvement (ms) of `config` over anycast,
+  // under the current model, per range kind.
+  struct Prediction {
+    double lower_ms = 0.0;     // pessimistic (upper-RTT candidates)
+    double mean_ms = 0.0;      // Eq. 2 expectation
+    double estimated_ms = 0.0; // inflation-weighted
+    double upper_ms = 0.0;     // optimistic (lower-RTT candidates)
+  };
+  [[nodiscard]] Prediction Predict(const AdvertisementConfig& config) const;
+
+  struct IterationReport {
+    AdvertisementConfig config;
+    Prediction predicted;
+    // Weighted-average realized improvement over anycast (ms), from the
+    // environment's observations, with UGs free to pick their best prefix.
+    double realized_ms = 0.0;
+    // Same, averaged only over UGs with positive improvement (Fig. 6b/6c
+    // plot "improvement over clients that have non-zero improvement").
+    double realized_positive_ms = 0.0;
+    std::size_t prefixes_used = 0;
+  };
+
+  // Runs the full learning loop. Always performs at least one iteration.
+  std::vector<IterationReport> Learn(AdvertisementEnvironment& env);
+
+  // Folds one round of observations into the routing model (exposed for
+  // tests and for callers driving the loop manually).
+  void Absorb(const AdvertisementConfig& config,
+              const std::vector<AdvertisementEnvironment::PrefixObservation>&
+                  observations);
+
+  [[nodiscard]] const RoutingModel& model() const { return model_; }
+  [[nodiscard]] RoutingModel& mutable_model() { return model_; }
+  [[nodiscard]] const OrchestratorConfig& config() const { return config_; }
+
+ private:
+  const ProblemInstance* instance_;
+  OrchestratorConfig config_;
+  RoutingModel model_;
+};
+
+}  // namespace painter::core

@@ -1,0 +1,135 @@
+#include "core/prefix_pool.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace painter::core {
+namespace {
+
+std::uint32_t MaskOf(int length) {
+  if (length <= 0) return 0;
+  if (length >= 32) return 0xffffffffu;
+  return ~((1u << (32 - length)) - 1u);
+}
+
+}  // namespace
+
+std::string Ipv4Prefix::ToString() const {
+  return std::to_string((network >> 24) & 0xff) + "." +
+         std::to_string((network >> 16) & 0xff) + "." +
+         std::to_string((network >> 8) & 0xff) + "." +
+         std::to_string(network & 0xff) + "/" + std::to_string(length);
+}
+
+bool Ipv4Prefix::Contains(std::uint32_t addr) const {
+  return (addr & MaskOf(length)) == network;
+}
+
+std::optional<Ipv4Prefix> ParsePrefix(const std::string& text) {
+  std::uint32_t octets[4] = {0, 0, 0, 0};
+  int length = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::size_t end = pos;
+    while (end < text.size() && text[end] >= '0' && text[end] <= '9') ++end;
+    if (end == pos) return std::nullopt;
+    std::uint32_t v = 0;
+    std::from_chars(text.data() + pos, text.data() + end, v);
+    if (v > 255) return std::nullopt;
+    octets[i] = v;
+    pos = end;
+    const char expect = i < 3 ? '.' : '/';
+    if (pos >= text.size() || text[pos] != expect) return std::nullopt;
+    ++pos;
+  }
+  std::size_t end = pos;
+  while (end < text.size() && text[end] >= '0' && text[end] <= '9') ++end;
+  if (end == pos || end != text.size()) return std::nullopt;
+  std::from_chars(text.data() + pos, text.data() + end, length);
+  if (length < 0 || length > 32) return std::nullopt;
+
+  const std::uint32_t network =
+      (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3];
+  if ((network & ~MaskOf(length)) != 0) return std::nullopt;  // host bits set
+  return Ipv4Prefix{network, length};
+}
+
+PrefixPool::PrefixPool(Ipv4Prefix supernet, int alloc_length,
+                       double cost_per_prefix_usd)
+    : supernet_(supernet),
+      alloc_length_(alloc_length),
+      cost_per_prefix_usd_(cost_per_prefix_usd) {
+  if (alloc_length < supernet.length || alloc_length > 32) {
+    throw std::invalid_argument{"PrefixPool: allocation size out of range"};
+  }
+  const int spare_bits = alloc_length - supernet.length;
+  if (spare_bits > 20) {
+    throw std::invalid_argument{"PrefixPool: supernet impractically large"};
+  }
+  capacity_ = static_cast<std::size_t>(1) << spare_bits;
+  in_use_.assign(capacity_, false);
+}
+
+std::optional<Ipv4Prefix> PrefixPool::Allocate() {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    if (in_use_[i]) continue;
+    in_use_[i] = true;
+    ++allocated_count_;
+    const std::uint32_t stride = 1u << (32 - alloc_length_);
+    return Ipv4Prefix{supernet_.network + static_cast<std::uint32_t>(i) * stride,
+                      alloc_length_};
+  }
+  return std::nullopt;
+}
+
+bool PrefixPool::Release(const Ipv4Prefix& prefix) {
+  if (prefix.length != alloc_length_ || !supernet_.Contains(prefix.network)) {
+    return false;
+  }
+  const std::uint32_t stride = 1u << (32 - alloc_length_);
+  const std::size_t i = (prefix.network - supernet_.network) / stride;
+  if (i >= capacity_ || !in_use_[i]) return false;
+  in_use_[i] = false;
+  --allocated_count_;
+  return true;
+}
+
+ConcretePlan BindPrefixes(const AdvertisementConfig& config,
+                          PrefixPool& pool) {
+  ConcretePlan plan;
+  plan.prefix_of_index.reserve(config.PrefixCount());
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    auto block = pool.Allocate();
+    if (!block.has_value()) {
+      // Return what we took; the plan is all-or-nothing.
+      for (const auto& taken : plan.prefix_of_index) pool.Release(taken);
+      throw std::runtime_error{"BindPrefixes: prefix pool exhausted"};
+    }
+    plan.prefix_of_index.push_back(*block);
+  }
+  plan.cost_usd = static_cast<double>(plan.prefix_of_index.size()) *
+                  (pool.Allocated() == 0
+                       ? 0.0
+                       : pool.TotalCostUsd() /
+                             static_cast<double>(pool.Allocated()));
+  return plan;
+}
+
+RibFootprint ComputeRibFootprint(const AdvertisementConfig& config,
+                                 const cloudsim::IngressResolver& resolver) {
+  RibFootprint fp;
+  fp.ases_carrying.reserve(config.PrefixCount());
+  const std::size_t n_as = resolver.graph().size();
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    const auto result = resolver.ResolveWithRoutes(config.Sessions(p));
+    std::size_t carrying = 0;
+    for (std::uint32_t v = 0; v < n_as; ++v) {
+      if (result.outcome.Reachable(util::AsId{v})) ++carrying;
+    }
+    fp.ases_carrying.push_back(carrying);
+    fp.total_entries += carrying;
+  }
+  return fp;
+}
+
+}  // namespace painter::core

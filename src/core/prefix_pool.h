@@ -1,0 +1,94 @@
+// IPv4 prefix economics and BGP table impact (§2.4).
+//
+// "Advertisement cost comes from the cost of IPv4 prefixes (often much more
+// than $20k per /24) and their impact on global BGP routing tables." The
+// orchestrator's prefix budget is ultimately a dollar figure and a
+// routing-table-slot figure; this module makes both concrete:
+//
+//  - PrefixPool allocates real /24s out of a supernet the cloud owns and
+//    prices them, so a configuration can be rendered as actual
+//    advertisements ("203.0.12.0/24 via peering 17") with a bill attached.
+//  - RibFootprint measures global table impact: for each prefix, how many
+//    ASes end up carrying a route for it. Anycast and transit announcements
+//    sit in every RIB; a prefix announced only via a peer stays inside that
+//    peer's customer cone — reuse via low-cone peers is cheaper for the
+//    Internet than its prefix count suggests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudsim/ingress.h"
+#include "core/advertisement.h"
+
+namespace painter::core {
+
+struct Ipv4Prefix {
+  std::uint32_t network = 0;  // host byte order, low bits zero
+  int length = 24;
+
+  [[nodiscard]] std::string ToString() const;
+  [[nodiscard]] bool Contains(std::uint32_t addr) const;
+
+  friend bool operator==(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+};
+
+// Parses "a.b.c.d/len"; nullopt on malformed input or host bits set.
+[[nodiscard]] std::optional<Ipv4Prefix> ParsePrefix(const std::string& text);
+
+class PrefixPool {
+ public:
+  // Carves /`alloc_length` blocks out of `supernet`. Throws if the supernet
+  // is smaller than the allocation size.
+  PrefixPool(Ipv4Prefix supernet, int alloc_length = 24,
+             double cost_per_prefix_usd = 20000.0);
+
+  // Allocates the next free block; nullopt when exhausted.
+  [[nodiscard]] std::optional<Ipv4Prefix> Allocate();
+
+  // Returns a block to the pool; false if it was not allocated from here.
+  bool Release(const Ipv4Prefix& prefix);
+
+  [[nodiscard]] std::size_t Capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t Allocated() const { return allocated_count_; }
+  [[nodiscard]] double TotalCostUsd() const {
+    return static_cast<double>(allocated_count_) * cost_per_prefix_usd_;
+  }
+  [[nodiscard]] const Ipv4Prefix& supernet() const { return supernet_; }
+
+ private:
+  Ipv4Prefix supernet_;
+  int alloc_length_;
+  double cost_per_prefix_usd_;
+  std::size_t capacity_;
+  std::size_t allocated_count_ = 0;
+  std::vector<bool> in_use_;
+};
+
+// A concrete, installable advertisement plan: each abstract prefix index of
+// the configuration bound to a real /24 from the pool.
+struct ConcretePlan {
+  std::vector<Ipv4Prefix> prefix_of_index;  // parallel to config prefixes
+  double cost_usd = 0.0;
+};
+
+// Binds `config` to blocks from `pool`. Throws std::runtime_error if the
+// pool cannot cover the configuration.
+[[nodiscard]] ConcretePlan BindPrefixes(const AdvertisementConfig& config,
+                                        PrefixPool& pool);
+
+// Global routing-table impact of a configuration: for each prefix, the
+// number of ASes whose RIB carries a route to it (via the interdomain
+// outcome of its announcement), plus the total across prefixes.
+struct RibFootprint {
+  std::vector<std::size_t> ases_carrying;  // per prefix
+  std::size_t total_entries = 0;           // sum over prefixes
+};
+
+[[nodiscard]] RibFootprint ComputeRibFootprint(
+    const AdvertisementConfig& config,
+    const cloudsim::IngressResolver& resolver);
+
+}  // namespace painter::core

@@ -1,0 +1,198 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace painter::core {
+namespace {
+
+// Fraction of `defaults` (sorted) not present in `alt`.
+double AvoidedFraction(const std::vector<std::uint32_t>& defaults,
+                       const std::vector<util::AsId>& alt) {
+  if (defaults.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (util::AsId a : alt) {
+    if (std::binary_search(defaults.begin(), defaults.end(), a.value())) {
+      ++hit;
+    }
+  }
+  return 1.0 -
+         static_cast<double>(hit) / static_cast<double>(defaults.size());
+}
+
+}  // namespace
+
+ResilienceAnalyzer::ResilienceAnalyzer(const topo::Internet& internet,
+                                       const cloudsim::Deployment& deployment,
+                                       const cloudsim::PolicyCatalog& catalog)
+    : internet_(&internet),
+      deployment_(&deployment),
+      catalog_(&catalog),
+      engine_(internet.graph),
+      anycast_outcome_(internet.graph.size(), deployment.cloud_as()) {
+  cloudsim::IngressResolver resolver{internet, deployment};
+  std::vector<util::PeeringId> all;
+  for (const auto& p : deployment.peerings()) all.push_back(p.id);
+  auto result = resolver.ResolveWithRoutes(all);
+  anycast_ingress_ = std::move(result.ingress_of_ug);
+  anycast_outcome_ = std::move(result.outcome);
+}
+
+std::vector<std::vector<util::PopId>> ResilienceAnalyzer::RegionalPops(
+    double coverage) const {
+  const auto& metros = internet_->metros;
+  // Volume entering each PoP from UGs of each metro, under anycast.
+  std::vector<std::unordered_map<std::uint32_t, double>> vol(metros.size());
+  for (const auto& ug : deployment_->ugs()) {
+    const auto& ingress = anycast_ingress_.at(ug.id.value());
+    if (!ingress.has_value()) continue;
+    const util::PopId pop = deployment_->peering(*ingress).pop;
+    vol[ug.metro.value()][pop.value()] += ug.traffic_weight;
+  }
+  std::vector<std::vector<util::PopId>> regional(metros.size());
+  for (std::size_t m = 0; m < metros.size(); ++m) {
+    std::vector<std::pair<double, std::uint32_t>> ranked;
+    double total = 0.0;
+    for (const auto& [pop, v] : vol[m]) {
+      ranked.emplace_back(v, pop);
+      total += v;
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    double acc = 0.0;
+    for (const auto& [v, pop] : ranked) {
+      regional[m].push_back(util::PopId{pop});
+      acc += v;
+      if (acc >= coverage * total) break;
+    }
+  }
+  return regional;
+}
+
+std::vector<UgResilience> ResilienceAnalyzer::AnalyzeAll() const {
+  const topo::AsGraph& g = internet_->graph;
+  const auto& ugs = deployment_->ugs();
+  std::vector<UgResilience> out(ugs.size());
+
+  const auto regional_pops = RegionalPops(0.9);
+
+  // Default anycast path ASes per UG, sorted for membership tests. The UG's
+  // own AS, its first-hop access ISP, and the cloud are excluded: those legs
+  // cannot be avoided by any ingress steering (a problem shared by all paths
+  // is out of scope, §3.3) — what matters is routing around the
+  // *intermediate* ASes, the Fig. 1 scenario.
+  std::vector<std::vector<std::uint32_t>> default_path(ugs.size());
+  for (const auto& ug : ugs) {
+    if (!anycast_outcome_.Reachable(ug.as)) continue;
+    const auto path = anycast_outcome_.Path(ug.as);
+    for (std::size_t i = 1; i < path.size(); ++i) {  // skip the first hop
+      const util::AsId a = path[i];
+      if (a != deployment_->cloud_as() && a != ug.as) {
+        default_path[ug.id.value()].push_back(a.value());
+      }
+    }
+    auto& dp = default_path[ug.id.value()];
+    std::sort(dp.begin(), dp.end());
+    dp.erase(std::unique(dp.begin(), dp.end()), dp.end());
+  }
+
+  // --- SD-WAN: one path per ISP (tunnel through the ISP, then the ISP's own
+  // anycast route), plus a direct path if the UG's AS peers with the cloud.
+  for (const auto& ug : ugs) {
+    UgResilience& r = out[ug.id.value()];
+    std::unordered_set<std::uint32_t> pops;
+    for (util::AsId isp : g.providers(ug.as)) {
+      if (!anycast_outcome_.Reachable(isp)) continue;
+      ++r.sdwan_paths;
+      // ISP path to the cloud = the ISP plus its anycast AS path.
+      std::vector<util::AsId> alt{isp};
+      for (util::AsId a : anycast_outcome_.Path(isp)) {
+        if (a != deployment_->cloud_as()) alt.push_back(a);
+      }
+      r.sdwan_avoid_frac = std::max(
+          r.sdwan_avoid_frac,
+          AvoidedFraction(default_path[ug.id.value()], alt));
+      // The PoP the ISP's traffic would enter: resolve via its entry AS.
+      const auto entry = anycast_outcome_.EntryAs(isp);
+      if (entry.has_value()) {
+        auto sessions = deployment_->PeeringsOfAs(*entry);
+        if (!sessions.empty()) {
+          // Early-exit approximation for the counting analysis.
+          pops.insert(
+              deployment_->peering(sessions.front()).pop.value());
+        }
+      }
+    }
+    if (!deployment_->PeeringsOfAs(ug.as).empty()) {
+      // Direct connection: one more path avoiding every intermediate AS.
+      ++r.sdwan_paths;
+      r.sdwan_avoid_frac = 1.0;
+      for (util::PeeringId pid : deployment_->PeeringsOfAs(ug.as)) {
+        pops.insert(deployment_->peering(pid).pop.value());
+      }
+    }
+    r.sdwan_pops = pops.size();
+  }
+
+  // --- PAINTER path counts. ---
+  // Lower bound: one path per compliant session at the UG's regional PoPs
+  // (what the Advertisement Orchestrator exposes). Upper bound: the exact
+  // number of valley-free AS paths to the cloud (what a hypothetical
+  // orchestrator manipulating advertisement attributes could expose, capped
+  // for the CDF so combinatorial tails don't swamp it).
+  const bgpsim::PathCounts all_paths =
+      bgpsim::CountValleyFreePaths(g, deployment_->cloud_as());
+  for (const auto& ug : ugs) {
+    UgResilience& r = out[ug.id.value()];
+    const auto& nearby = regional_pops[ug.metro.value()];
+    std::unordered_set<std::uint32_t> pops;
+    for (util::PeeringId pid : catalog_->CompliantPeerings(ug.id)) {
+      const cloudsim::Peering& sess = deployment_->peering(pid);
+      if (std::find(nearby.begin(), nearby.end(), sess.pop) == nearby.end()) {
+        continue;
+      }
+      ++r.painter_paths_lb;
+      pops.insert(sess.pop.value());
+    }
+    r.painter_pops = pops.size();
+    constexpr double kPathCountCap = 10000.0;
+    r.painter_paths_ub = static_cast<std::size_t>(std::max(
+        static_cast<double>(r.painter_paths_lb),
+        std::min(kPathCountCap, all_paths.total[ug.as.value()])));
+  }
+
+  // --- PAINTER avoidance: alternate path per compliant neighbor AS. ---
+  // Propagate one single-neighbor announcement per distinct neighbor AS and
+  // fold the resulting paths into every UG that has that neighbor compliant.
+  std::unordered_map<util::AsId, std::vector<util::UgId>> ugs_of_neighbor;
+  for (const auto& ug : ugs) {
+    std::unordered_set<std::uint32_t> seen;
+    for (util::PeeringId pid : catalog_->CompliantPeerings(ug.id)) {
+      const util::AsId peer = deployment_->peering(pid).peer;
+      if (seen.insert(peer.value()).second) {
+        ugs_of_neighbor[peer].push_back(ug.id);
+      }
+    }
+  }
+  for (const auto& [neighbor, members] : ugs_of_neighbor) {
+    const bgpsim::Announcement ann{.prefix = util::PrefixId{0},
+                                   .origin = deployment_->cloud_as(),
+                                   .to_neighbors = {neighbor}};
+    const bgpsim::RoutingOutcome outcome = engine_.Propagate(ann);
+    for (util::UgId ugid : members) {
+      const util::AsId as = deployment_->ug(ugid).as;
+      if (!outcome.Reachable(as)) continue;
+      std::vector<util::AsId> alt;
+      for (util::AsId a : outcome.Path(as)) {
+        if (a != deployment_->cloud_as() && a != as) alt.push_back(a);
+      }
+      out[ugid.value()].painter_avoid_frac =
+          std::max(out[ugid.value()].painter_avoid_frac,
+                   AvoidedFraction(default_path[ugid.value()], alt));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace painter::core

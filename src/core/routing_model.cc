@@ -1,0 +1,151 @@
+#include "core/routing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace painter::core {
+namespace {
+
+std::uint64_t PairKey(util::PeeringId winner, util::PeeringId loser) {
+  return (static_cast<std::uint64_t>(winner.value()) << 32) | loser.value();
+}
+
+}  // namespace
+
+RoutingModel::RoutingModel(std::size_t ug_count)
+    : prefers_(ug_count), measured_(ug_count) {}
+
+void RoutingModel::ObservePreference(
+    std::uint32_t ug, util::PeeringId chosen,
+    std::span<const util::PeeringId> candidates) {
+  auto& set = prefers_.at(ug);
+  for (util::PeeringId other : candidates) {
+    if (other == chosen) continue;
+    set.insert(PairKey(chosen, other));
+    // Observations are ground truth; retract any stale opposite belief.
+    set.erase(PairKey(other, chosen));
+  }
+}
+
+void RoutingModel::ObserveLatency(std::uint32_t ug, util::PeeringId ingress,
+                                  double rtt_ms) {
+  measured_.at(ug)[ingress.value()] = rtt_ms;
+}
+
+bool RoutingModel::IsDominated(
+    std::uint32_t ug, util::PeeringId candidate,
+    std::span<const util::PeeringId> active) const {
+  const auto& set = prefers_.at(ug);
+  if (set.empty()) return false;
+  for (util::PeeringId other : active) {
+    if (other == candidate) continue;
+    if (set.contains(PairKey(other, candidate))) return true;
+  }
+  return false;
+}
+
+std::optional<double> RoutingModel::MeasuredRtt(std::uint32_t ug,
+                                                util::PeeringId ingress) const {
+  const auto& m = measured_.at(ug);
+  const auto it = m.find(ingress.value());
+  if (it == m.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t RoutingModel::PreferenceCount() const {
+  std::size_t n = 0;
+  for (const auto& s : prefers_) n += s.size();
+  return n;
+}
+
+PrefixExpectation ComputeExpectationFromCandidates(
+    const RoutingModel& model, std::uint32_t ug,
+    std::span<const IngressOption* const> candidates,
+    const ExpectationParams& params) {
+  PrefixExpectation out;
+  if (candidates.empty()) return out;
+
+  struct Cand {
+    const IngressOption* opt;
+    double rtt;
+  };
+  // Reused scratch: the greedy inner loop calls this millions of times.
+  thread_local std::vector<Cand> cands;
+  thread_local std::vector<util::PeeringId> active;
+  cands.clear();
+  for (const IngressOption* opt : candidates) {
+    const auto measured = model.MeasuredRtt(ug, opt->peering);
+    cands.push_back(Cand{opt, measured.value_or(opt->rtt_ms)});
+  }
+
+  // Preference exclusion: drop candidates dominated by another candidate the
+  // UG is known to prefer.
+  if (cands.size() > 1) {
+    active.clear();
+    for (const Cand& c : cands) active.push_back(c.opt->peering);
+    std::erase_if(cands, [&](const Cand& c) {
+      return model.IsDominated(ug, c.opt->peering, active);
+    });
+    if (cands.empty()) return out;
+  }
+
+  // D_reuse exclusion: drop candidates whose PoP is more than D_reuse km
+  // farther from the UG than the closest surviving candidate PoP.
+  if (cands.size() > 1) {
+    double min_km = cands.front().opt->distance_km;
+    for (const Cand& c : cands) min_km = std::min(min_km, c.opt->distance_km);
+    std::erase_if(cands, [&](const Cand& c) {
+      return c.opt->distance_km - min_km > params.d_reuse_km;
+    });
+  }
+
+  out.usable = true;
+  out.candidate_count = cands.size();
+  out.lower_rtt = cands.front().rtt;
+  out.upper_rtt = cands.front().rtt;
+  double sum = 0.0;
+  double wsum = 0.0;
+  double wnorm = 0.0;
+  double min_km = cands.front().opt->distance_km;
+  for (const Cand& c : cands) min_km = std::min(min_km, c.opt->distance_km);
+  for (const Cand& c : cands) {
+    out.lower_rtt = std::min(out.lower_rtt, c.rtt);
+    out.upper_rtt = std::max(out.upper_rtt, c.rtt);
+    sum += c.rtt;
+    const double w =
+        std::exp(-(c.opt->distance_km - min_km) / params.inflation_decay_km);
+    wsum += w * c.rtt;
+    wnorm += w;
+  }
+  out.mean_rtt = sum / static_cast<double>(cands.size());
+  out.estimated_rtt = wnorm == 0.0 ? out.mean_rtt : wsum / wnorm;
+  return out;
+}
+
+PrefixExpectation ComputeExpectation(
+    const ProblemInstance& instance, const RoutingModel& model,
+    std::uint32_t ug, std::span<const util::PeeringId> advertised_sessions,
+    const ExpectationParams& params) {
+  const auto& opts = instance.options.at(ug);
+  if (opts.empty() || advertised_sessions.empty()) return {};
+
+  // Candidates: compliant options ∩ advertised sessions (both sorted by id).
+  thread_local std::vector<const IngressOption*> isect;
+  isect.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < opts.size() && j < advertised_sessions.size()) {
+    if (opts[i].peering < advertised_sessions[j]) {
+      ++i;
+    } else if (advertised_sessions[j] < opts[i].peering) {
+      ++j;
+    } else {
+      isect.push_back(&opts[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return ComputeExpectationFromCandidates(model, ug, isect, params);
+}
+
+}  // namespace painter::core

@@ -1,0 +1,102 @@
+// The routing model: what the orchestrator believes about UG routing.
+//
+// §3.1: "we make assumptions about UG ingresses and, in cases with
+// uncertainty, assume all policy-compliant ingresses are equally likely. We
+// then learn from incorrect assumptions over time."
+//
+// The model holds, per UG:
+//  - learned pairwise ingress preferences: when a prefix was advertised via a
+//    candidate set and the UG was observed entering via ingress i*, then i*
+//    is preferred over every other candidate. Future expectations exclude
+//    candidates dominated by an active preferred ingress (the paper's
+//    Tokyo-vs-Miami example).
+//  - measured RTT corrections: once a UG was actually observed on an
+//    ingress, the measured RTT replaces the heuristic estimate.
+//
+// ComputeExpectation evaluates Eq. 2's inner expectation for one UG and one
+// prefix: candidates = compliant options ∩ advertised sessions, minus
+// preference-dominated ingresses, minus ingresses more than D_reuse km
+// farther than the closest candidate PoP. It reports the full benefit range
+// the evaluation uses (Fig. 14): lower/upper bound RTTs, the unweighted mean
+// (Eq. 2's equal-likelihood expectation), and the inflation-probability
+// weighted estimate (§5.1.2 — "inflated paths to far-away PoPs are less
+// likely", weights decay with excess distance).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace painter::core {
+
+class RoutingModel {
+ public:
+  explicit RoutingModel(std::size_t ug_count);
+
+  // Records an observed routing choice: `ug` entered via `chosen` while all
+  // of `candidates` (compliant sessions the prefix was advertised on) were
+  // available. Every non-chosen candidate becomes dominated by `chosen`.
+  void ObservePreference(std::uint32_t ug, util::PeeringId chosen,
+                         std::span<const util::PeeringId> candidates);
+
+  // Records a measured RTT for a (ug, ingress) pair, correcting estimates.
+  void ObserveLatency(std::uint32_t ug, util::PeeringId ingress, double rtt_ms);
+
+  // True if some *other* candidate in `active` is known-preferred over
+  // `candidate` for this UG (then `candidate` has zero likelihood, §3.1).
+  [[nodiscard]] bool IsDominated(std::uint32_t ug, util::PeeringId candidate,
+                                 std::span<const util::PeeringId> active) const;
+
+  [[nodiscard]] std::optional<double> MeasuredRtt(std::uint32_t ug,
+                                                  util::PeeringId ingress) const;
+
+  [[nodiscard]] std::size_t PreferenceCount() const;
+
+ private:
+  // ug -> set of (winner << 32 | loser) pairs.
+  std::vector<std::unordered_set<std::uint64_t>> prefers_;
+  // ug -> ingress -> measured RTT.
+  std::vector<std::unordered_map<std::uint32_t, double>> measured_;
+};
+
+struct ExpectationParams {
+  // Minimum reuse distance D_reuse (km): candidates whose PoP is more than
+  // this much farther than the closest candidate PoP are assumed unused.
+  double d_reuse_km = 3000.0;
+  // Decay constant for the inflation-likelihood weights of the "estimated"
+  // range: weight ∝ exp(-excess_km / this).
+  double inflation_decay_km = 4000.0;
+};
+
+struct PrefixExpectation {
+  bool usable = false;     // UG has at least one surviving candidate
+  double lower_rtt = 0.0;  // best case (min over candidates)
+  double mean_rtt = 0.0;   // Eq. 2 equal-likelihood expectation
+  double estimated_rtt = 0.0;  // inflation-probability weighted
+  double upper_rtt = 0.0;  // worst case (max over candidates)
+  std::size_t candidate_count = 0;
+};
+
+// Evaluates the expectation for `ug` of a prefix advertised via
+// `advertised_sessions` (sorted by id). O(|options(ug)| + |advertised|).
+[[nodiscard]] PrefixExpectation ComputeExpectation(
+    const ProblemInstance& instance, const RoutingModel& model,
+    std::uint32_t ug, std::span<const util::PeeringId> advertised_sessions,
+    const ExpectationParams& params);
+
+// Same evaluation from an already-intersected candidate list (the UG's
+// compliant options among the advertised sessions). The greedy inner loop of
+// Algorithm 1 maintains these lists incrementally, so marginal evaluations
+// cost O(|candidates|^2) with tiny candidate counts instead of re-walking
+// the full option lists.
+[[nodiscard]] PrefixExpectation ComputeExpectationFromCandidates(
+    const RoutingModel& model, std::uint32_t ug,
+    std::span<const IngressOption* const> candidates,
+    const ExpectationParams& params);
+
+}  // namespace painter::core

@@ -1,0 +1,29 @@
+#include "core/sim_environment.h"
+
+namespace painter::core {
+
+std::vector<AdvertisementEnvironment::PrefixObservation>
+SimEnvironment::Execute(const AdvertisementConfig& config) {
+  std::vector<PrefixObservation> out;
+  out.reserve(config.PrefixCount());
+  const std::size_t n_ug = oracle_->deployment().ugs().size();
+
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    PrefixObservation obs;
+    obs.ingress_of_ug = resolver_->Resolve(config.Sessions(p));
+    obs.rtt_ms_of_ug.assign(n_ug, 0.0);
+    for (std::uint32_t u = 0; u < n_ug; ++u) {
+      if (obs.ingress_of_ug[u].has_value()) {
+        obs.rtt_ms_of_ug[u] =
+            oracle_
+                ->MeasureMin(util::UgId{u}, *obs.ingress_of_ug[u], rng_,
+                             ping_count_, day_)
+                .count();
+      }
+    }
+    out.push_back(std::move(obs));
+  }
+  return out;
+}
+
+}  // namespace painter::core

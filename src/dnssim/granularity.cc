@@ -1,0 +1,105 @@
+#include "dnssim/granularity.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace painter::dnssim {
+
+std::size_t GranularityBucket(double share) {
+  if (share <= 1e-4) return 0;
+  if (share <= 1e-3) return 1;
+  if (share <= 1e-2) return 2;
+  if (share <= 1e-1) return 3;
+  return 4;
+}
+
+std::vector<PopGranularity> AnalyzeGranularity(
+    const cloudsim::Deployment& deployment,
+    const cloudsim::IngressResolver& resolver,
+    const ResolverAssignment& resolvers, const GranularityConfig& config) {
+  // Anycast resolution assigns each UG an ingress (peering -> PoP).
+  std::vector<util::PeeringId> all;
+  for (const auto& p : deployment.peerings()) all.push_back(p.id);
+  const auto ingress = resolver.Resolve(all);
+
+  struct PopState {
+    double total = 0.0;
+    // knob key -> volume. BGP knob: (peering, user AS). DNS knob: resolver.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> bgp;
+    std::map<std::uint32_t, double> dns;
+  };
+  // +1 pseudo-PoP for the aggregate "All" row.
+  std::vector<PopState> state(deployment.pops().size() + 1);
+  const std::size_t all_idx = deployment.pops().size();
+
+  for (const cloudsim::UserGroup& ug : deployment.ugs()) {
+    const auto& choice = ingress[ug.id.value()];
+    if (!choice.has_value()) continue;
+    const cloudsim::Peering& sess = deployment.peering(*choice);
+    const double v = ug.traffic_weight;
+    const std::uint32_t res = resolvers.resolver_of_ug[ug.id.value()];
+
+    // BGP's knob is (peering, user AS) where "user AS" is the origin network
+    // the cloud sees in BGP — enterprises live inside their access ISP's
+    // aggregates, so a targeted announcement moves the whole ISP's customer
+    // base, not one enterprise.
+    const auto& providers = resolver.graph().providers(ug.as);
+    const std::uint32_t user_as =
+        providers.empty() ? ug.as.value() : providers.front().value();
+
+    for (const std::size_t idx : {static_cast<std::size_t>(sess.pop.value()),
+                                  all_idx}) {
+      PopState& ps = state[idx];
+      ps.total += v;
+      ps.bgp[{sess.id.value(), user_as}] += v;
+      ps.dns[res] += v;
+    }
+  }
+
+  // Rank real PoPs by volume; build the output rows.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < deployment.pops().size(); ++i) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return state[a].total > state[b].total;
+  });
+  order.insert(order.begin(), all_idx);
+  if (order.size() > config.top_pops + 1) order.resize(config.top_pops + 1);
+
+  std::vector<PopGranularity> out;
+  for (std::size_t idx : order) {
+    const PopState& ps = state[idx];
+    PopGranularity row;
+    row.pop_name =
+        idx == all_idx ? "All" : deployment.pops()[idx].name;
+    row.total_volume = ps.total;
+    if (ps.total <= 0.0) {
+      out.push_back(row);
+      continue;
+    }
+    for (const auto& [key, v] : ps.bgp) {
+      row.bgp[GranularityBucket(v / ps.total)] += v / ps.total;
+    }
+    for (const auto& [key, v] : ps.dns) {
+      row.dns[GranularityBucket(v / ps.total)] += v / ps.total;
+    }
+    // PAINTER: every flow is its own knob; all flows of a UG share the same
+    // per-flow share, so bucket the UG's full volume at its flow size.
+    for (const cloudsim::UserGroup& ug : deployment.ugs()) {
+      const auto& choice = ingress[ug.id.value()];
+      if (!choice.has_value()) continue;
+      const bool in_pop = idx == all_idx ||
+                          deployment.peering(*choice).pop.value() == idx;
+      if (!in_pop) continue;
+      const double flows =
+          std::max(1.0, ug.traffic_weight * config.flows_per_weight);
+      const double flow_share = ug.traffic_weight / flows / ps.total;
+      row.painter[GranularityBucket(flow_share)] +=
+          ug.traffic_weight / ps.total;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace painter::dnssim

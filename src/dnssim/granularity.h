@@ -1,0 +1,54 @@
+// Traffic-control granularity analysis (§5.2.2, Fig. 9a).
+//
+// How much traffic does one "control knob" move?
+//  - BGP: the finest practical knob is a targeted announcement update
+//    affecting all traffic from one user AS entering via one peering — the
+//    (peering, user AS) pair.
+//  - DNS: a changed record affects every client of a recursive resolver.
+//  - PAINTER: the TM-Edge steers individual flows.
+//
+// For each PoP (and overall) we bucket traffic volume by the share of that
+// PoP's traffic its controlling knob moves: e.g. "64% of PoP A's traffic
+// comes from (peering, AS) pairs responsible for 10-100% of the PoP's
+// traffic" means BGP steering there shifts >=10% of the PoP's load en masse.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cloudsim/ingress.h"
+#include "dnssim/resolvers.h"
+
+namespace painter::dnssim {
+
+// Buckets of knob share (fraction of PoP traffic a knob controls):
+// (0] <=0.01%  (1] 0.01-0.1%  (2] 0.1-1%  (3] 1-10%  (4] 10-100%.
+inline constexpr std::size_t kGranularityBuckets = 5;
+
+struct PopGranularity {
+  std::string pop_name;          // "All" for the aggregate row
+  double total_volume = 0.0;
+  // Fraction of the PoP's volume whose controlling knob falls in bucket i.
+  std::array<double, kGranularityBuckets> bgp{};
+  std::array<double, kGranularityBuckets> dns{};
+  std::array<double, kGranularityBuckets> painter{};
+};
+
+struct GranularityConfig {
+  // Mean flows per unit of traffic weight, for the PAINTER per-flow buckets.
+  double flows_per_weight = 50.0;
+  std::size_t top_pops = 10;
+};
+
+// Computes Fig. 9a's rows: the aggregate plus the top PoPs by volume. Traffic
+// is assigned to PoPs by the anycast resolution.
+[[nodiscard]] std::vector<PopGranularity> AnalyzeGranularity(
+    const cloudsim::Deployment& deployment,
+    const cloudsim::IngressResolver& resolver,
+    const ResolverAssignment& resolvers, const GranularityConfig& config);
+
+// Bucket index for a knob controlling `share` of a PoP's traffic.
+[[nodiscard]] std::size_t GranularityBucket(double share);
+
+}  // namespace painter::dnssim

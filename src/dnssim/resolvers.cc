@@ -1,0 +1,57 @@
+#include "dnssim/resolvers.h"
+
+#include <unordered_map>
+
+namespace painter::dnssim {
+
+ResolverAssignment AssignResolvers(const cloudsim::Deployment& deployment,
+                                   const ResolverConfig& config) {
+  util::Rng rng{config.seed};
+  ResolverAssignment out;
+  out.resolver_of_ug.resize(deployment.ugs().size());
+
+  // Public resolvers first (stable ids), then one local resolver per metro
+  // allocated on demand.
+  out.resolver_supports_ecs.assign(config.public_resolver_count, false);
+  for (std::size_t i = 0;
+       i < config.ecs_resolver_count && i < config.public_resolver_count; ++i) {
+    out.resolver_supports_ecs[i] = true;
+  }
+  // Shared local resolvers are allocated lazily per (metro, slot).
+  std::unordered_map<std::uint64_t, std::uint32_t> local_of_slot;
+
+  for (const cloudsim::UserGroup& ug : deployment.ugs()) {
+    std::uint32_t resolver;
+    if (rng.Bernoulli(config.public_resolver_frac) &&
+        config.public_resolver_count > 0) {
+      if (rng.Bernoulli(config.ecs_user_share) &&
+          config.ecs_resolver_count > 0) {
+        resolver = static_cast<std::uint32_t>(rng.Index(config.ecs_resolver_count));
+      } else if (config.public_resolver_count > config.ecs_resolver_count) {
+        resolver = static_cast<std::uint32_t>(
+            config.ecs_resolver_count +
+            rng.Index(config.public_resolver_count - config.ecs_resolver_count));
+      } else {
+        resolver = 0;
+      }
+    } else if (rng.Bernoulli(config.own_resolver_frac)) {
+      // On-premises resolver serving only this UG.
+      resolver = static_cast<std::uint32_t>(out.resolver_supports_ecs.size());
+      out.resolver_supports_ecs.push_back(false);
+    } else {
+      const std::size_t slots = std::max<std::size_t>(1, config.locals_per_metro);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(ug.metro.value()) << 8) |
+          rng.Index(slots);
+      const auto [it, inserted] = local_of_slot.try_emplace(
+          key, static_cast<std::uint32_t>(out.resolver_supports_ecs.size()));
+      if (inserted) out.resolver_supports_ecs.push_back(false);
+      resolver = it->second;
+    }
+    out.resolver_of_ug[ug.id.value()] = resolver;
+  }
+  out.resolver_count = out.resolver_supports_ecs.size();
+  return out;
+}
+
+}  // namespace painter::dnssim

@@ -1,0 +1,48 @@
+// Recursive resolver population.
+//
+// DNS-based steering operates per recursive resolver (§2.2): a record handed
+// to a resolver steers *all* of its clients. Enterprises mostly use a local
+// resolver (same metro, homogeneous clients), but a large share of users sit
+// behind big public resolvers serving geographically disparate UGs — the
+// paper found regions with poor routing correlate with LDNS serving
+// disparate users (§5.2.2), which is exactly what caps DNS steering benefit.
+// One public resolver (modeled on Google Public DNS) supports ECS and can
+// tailor records per client /24.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloudsim/deployment.h"
+#include "util/rng.h"
+
+namespace painter::dnssim {
+
+struct ResolverConfig {
+  std::uint64_t seed = 17;
+  // Fraction of UGs behind a big public resolver rather than a local one.
+  double public_resolver_frac = 0.50;
+  std::size_t public_resolver_count = 6;
+  // Of the public resolvers, how many support ECS (Google Public DNS).
+  std::size_t ecs_resolver_count = 1;
+  // Share of public-resolver users on the ECS-capable one.
+  double ecs_user_share = 0.25;
+  // Fraction of (non-public) UGs running their own on-premises resolver.
+  double own_resolver_frac = 0.15;
+  // Shared local resolvers per metro (ISP/enterprise-hoster resolvers).
+  std::size_t locals_per_metro = 6;
+};
+
+struct ResolverAssignment {
+  // resolver id per UG (dense resolver ids).
+  std::vector<std::uint32_t> resolver_of_ug;
+  std::vector<bool> resolver_supports_ecs;
+  std::size_t resolver_count = 0;
+};
+
+// Assigns each UG to a resolver: local per-metro resolvers for most, public
+// (geo-spanning) resolvers for the configured fraction.
+[[nodiscard]] ResolverAssignment AssignResolvers(
+    const cloudsim::Deployment& deployment, const ResolverConfig& config);
+
+}  // namespace painter::dnssim

@@ -1,0 +1,113 @@
+#include "dnssim/ttl_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace painter::dnssim {
+
+std::vector<CloudTrafficProfile> DefaultCloudProfiles() {
+  // Cloud A: conferencing/real-time heavy — very long flows, aggressive
+  // client-side caching, short TTLs. Clouds B and C: shorter, web-like flows
+  // with moderate caching.
+  return {
+      CloudTrafficProfile{.name = "Cloud A",
+                          .ttl_seconds = 60.0,
+                          .duration_mu = 7.2,   // ~22 min median
+                          .duration_sigma = 1.2,
+                          .rate_mu = 10.5,      // conferencing bitrates
+                          .rate_sigma = 0.8,
+                          .stale_reuse_prob = 0.55,
+                          .client_cache_mean_seconds = 5400.0,
+                          .flow_rate_per_second = 0.012},
+      CloudTrafficProfile{.name = "Cloud B",
+                          .ttl_seconds = 120.0,
+                          .duration_mu = 2.8,   // ~16 s median
+                          .duration_sigma = 1.6,
+                          .rate_mu = 9.0,
+                          .rate_sigma = 1.0,
+                          .stale_reuse_prob = 0.35,
+                          .client_cache_mean_seconds = 900.0,
+                          .flow_rate_per_second = 0.08},
+      CloudTrafficProfile{.name = "Cloud C",
+                          .ttl_seconds = 300.0,
+                          .duration_mu = 2.4,
+                          .duration_sigma = 1.6,
+                          .rate_mu = 9.0,
+                          .rate_sigma = 1.0,
+                          .stale_reuse_prob = 0.4,
+                          .client_cache_mean_seconds = 900.0,
+                          .flow_rate_per_second = 0.10},
+  };
+}
+
+TtlStudyResult RunTtlStudy(const CloudTrafficProfile& profile,
+                           std::size_t sessions, double session_seconds,
+                           util::Rng& rng) {
+  TtlStudyResult result;
+  result.cloud = profile.name;
+
+  for (std::size_t s = 0; s < sessions; ++s) {
+    // Per-session DNS state: when the current record was fetched and the
+    // stale cached address (if any) the client might keep using.
+    double record_fetch_time = -1.0;  // no record yet
+    double cache_deadline = -1.0;     // how long the client keeps stale IPs
+
+    double t = rng.Exponential(profile.flow_rate_per_second);
+    while (t < session_seconds) {
+      const double expiry = record_fetch_time + profile.ttl_seconds;
+      bool stale_start = false;
+      if (record_fetch_time < 0.0) {
+        // First flow: resolve fresh.
+        record_fetch_time = t;
+        cache_deadline =
+            t + rng.Exponential(1.0 / profile.client_cache_mean_seconds);
+      } else if (t > expiry) {
+        // Record expired. The client either keeps using the cached address
+        // (TTL violation) or re-resolves.
+        if (t < cache_deadline && rng.Bernoulli(profile.stale_reuse_prob)) {
+          stale_start = true;  // stale new flow on the old record
+        } else {
+          record_fetch_time = t;
+          cache_deadline =
+              t + rng.Exponential(1.0 / profile.client_cache_mean_seconds);
+        }
+      }
+      const double governing_expiry = record_fetch_time + profile.ttl_seconds;
+
+      const double duration =
+          rng.LogNormal(profile.duration_mu, profile.duration_sigma);
+      const double bytes =
+          duration * rng.LogNormal(profile.rate_mu, profile.rate_sigma);
+
+      // Spread the flow's bytes over its lifetime in coarse slices and bucket
+      // each slice by its offset from the governing record's expiry.
+      constexpr int kSlices = 8;
+      for (int k = 0; k < kSlices; ++k) {
+        const double when =
+            t + duration * (static_cast<double>(k) + 0.5) / kSlices;
+        const double offset = when - governing_expiry;
+        const double slice_bytes = bytes / kSlices;
+        result.bytes_by_offset.Add(offset, slice_bytes);
+        result.total_bytes += slice_bytes;
+        if (offset > 0.0) {
+          if (stale_start) {
+            result.stale_new_flow_bytes += slice_bytes;
+          } else if (t <= governing_expiry) {
+            result.live_past_expiry_bytes += slice_bytes;
+          } else {
+            result.stale_new_flow_bytes += slice_bytes;
+          }
+        }
+      }
+      t += rng.Exponential(profile.flow_rate_per_second);
+    }
+  }
+  return result;
+}
+
+double FractionAtOrAfter(const TtlStudyResult& result, double offset_seconds) {
+  if (result.bytes_by_offset.empty()) return 0.0;
+  return 1.0 - result.bytes_by_offset.FractionAtOrBelow(offset_seconds);
+}
+
+}  // namespace painter::dnssim

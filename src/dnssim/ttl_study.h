@@ -1,0 +1,72 @@
+// DNS TTL-violation study (§2.2, Fig. 3, Appendix A).
+//
+// The paper passively captured residential traffic, matched flows to the DNS
+// records that produced their destination IPs, and measured how many bytes
+// are sent relative to the record's expiration: 80% of bytes to "Cloud A"
+// flow at least five minutes *after* the record expired, so DNS cannot
+// redirect that traffic. Two mechanisms produce stale traffic (observed at a
+// roughly 2:1 byte ratio): long-lived flows outliving the record, and clients
+// caching the resolved IP and starting new flows after expiry.
+//
+// The trace synthesizer regenerates the figure from those mechanisms: flows
+// arrive Poisson per client session, durations and byte volumes are heavy
+// tailed (per-cloud parameters — conferencing-heavy Cloud A has much longer
+// flows than web-ish Clouds B/C), each flow's bytes are spread uniformly over
+// its lifetime, and each byte is bucketed by (send time - record expiry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace painter::dnssim {
+
+struct CloudTrafficProfile {
+  std::string name;
+  double ttl_seconds = 60.0;
+  // Flow duration: lognormal (seconds).
+  double duration_mu = 3.0;
+  double duration_sigma = 1.5;
+  // Per-flow throughput: lognormal (bytes/second). Flow volume is
+  // throughput x duration, so long flows carry proportionally more bytes —
+  // the property that makes conferencing traffic dominate Cloud A's bytes.
+  double rate_mu = 9.0;   // ~8 KB/s median
+  double rate_sigma = 1.0;
+  // Client IP caching beyond TTL: probability a new flow reuses the stale
+  // cached address rather than re-resolving, and how long caches persist.
+  double stale_reuse_prob = 0.6;
+  double client_cache_mean_seconds = 1800.0;
+  // Poisson flow arrivals per client session per second.
+  double flow_rate_per_second = 0.05;
+};
+
+// Paper-motivated parameterizations for the three large clouds of Fig. 3.
+[[nodiscard]] std::vector<CloudTrafficProfile> DefaultCloudProfiles();
+
+struct TtlStudyResult {
+  std::string cloud;
+  // CDF of bytes by (send time - record expiry) in seconds; negative =
+  // before expiration.
+  util::EmpiricalCdf bytes_by_offset;
+  double total_bytes = 0.0;
+  // Byte ratio of stale traffic: live-flows-past-expiry vs stale-new-flows.
+  double live_past_expiry_bytes = 0.0;
+  double stale_new_flow_bytes = 0.0;
+};
+
+// Synthesizes `sessions` client sessions of `session_seconds` each and
+// accounts every byte against its governing DNS record.
+[[nodiscard]] TtlStudyResult RunTtlStudy(const CloudTrafficProfile& profile,
+                                         std::size_t sessions,
+                                         double session_seconds,
+                                         util::Rng& rng);
+
+// Fraction of bytes sent at or after `offset_seconds` relative to expiry
+// (the "bytes that have yet to be sent" axis of Fig. 3 at that x).
+[[nodiscard]] double FractionAtOrAfter(const TtlStudyResult& result,
+                                       double offset_seconds);
+
+}  // namespace painter::dnssim

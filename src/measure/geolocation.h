@@ -1,0 +1,60 @@
+// Geolocation-based ingress latency estimation (Appendix B).
+//
+// For the Azure evaluation the paper could not advertise, so it estimated the
+// latency through an ingress as the latency to a responsive IP address in the
+// peer's space geolocated within GP km of the PoP. Coverage and accuracy both
+// depend on the admitted geolocation uncertainty: more uncertainty covers
+// more ingresses (Fig. 12a) but degrades the estimate (Fig. 12b), with the
+// paper choosing GP = 450 km (~80% volume coverage, ~2 ms median error).
+//
+// We model each peering's best available measurement target: some sessions
+// have an address right on the peering subnet (near-zero uncertainty), most
+// have a crawled/geolocated address some distance away, and some have none.
+// The estimated latency is the true latency perturbed by the detour implied
+// by the target's displacement.
+#pragma once
+
+#include <optional>
+
+#include "measure/latency.h"
+
+namespace painter::measure {
+
+struct GeoTargetConfig {
+  std::uint64_t seed = 99;
+  // Fraction of sessions whose peering-subnet address responds (precise).
+  double precise_target_frac = 0.12;
+  // Fraction with no usable target at all.
+  double missing_target_frac = 0.08;
+  // Remaining targets: uncertainty ~ lognormal (km).
+  double uncertainty_mu = 5.6;     // exp(5.6) ~ 270 km median
+  double uncertainty_sigma = 0.7;
+};
+
+struct GeoTarget {
+  util::PeeringId peering;
+  double uncertainty_km = 0.0;
+};
+
+class GeoTargetCatalog {
+ public:
+  GeoTargetCatalog(const LatencyOracle& oracle, GeoTargetConfig config);
+
+  // The target for a session, or nullopt if none responded.
+  [[nodiscard]] std::optional<GeoTarget> TargetFor(
+      util::PeeringId peering) const;
+
+  // Latency estimate through `peering` for `ug` using its target: the truth
+  // plus an error that grows with the target's displacement. nullopt if the
+  // session has no target or its uncertainty exceeds `max_uncertainty_km`.
+  [[nodiscard]] std::optional<util::Millis> EstimateRtt(
+      util::UgId ug, util::PeeringId peering,
+      double max_uncertainty_km) const;
+
+ private:
+  const LatencyOracle* oracle_;
+  GeoTargetConfig config_;
+  std::vector<std::optional<GeoTarget>> targets_;  // indexed by peering id
+};
+
+}  // namespace painter::measure

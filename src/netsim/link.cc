@@ -1,0 +1,42 @@
+#include "netsim/link.h"
+
+#include <algorithm>
+
+namespace painter::netsim {
+
+QueuedLink::QueuedLink(Simulator& sim, Config config)
+    : sim_(&sim), config_(config) {}
+
+double QueuedLink::CurrentQueueingDelay() const {
+  return std::max(0.0, busy_until_ - sim_->Now());
+}
+
+std::uint32_t QueuedLink::QueuedBytes() const {
+  return static_cast<std::uint32_t>(CurrentQueueingDelay() *
+                                    config_.bandwidth_bytes_per_s);
+}
+
+bool QueuedLink::Send(const Packet& packet,
+                      std::function<void(const Packet&)> deliver) {
+  const double now = sim_->Now();
+  const double wire_bytes = static_cast<double>(packet.WireBytes());
+
+  if (QueuedBytes() + packet.WireBytes() > config_.queue_limit_bytes) {
+    ++stats_.dropped;
+    return false;
+  }
+
+  const double start = std::max(now, busy_until_);
+  const double serialize = wire_bytes / config_.bandwidth_bytes_per_s;
+  busy_until_ = start + serialize;
+
+  const double arrive_at = busy_until_ + config_.propagation_s;
+  ++stats_.delivered;
+  stats_.bytes_delivered += packet.WireBytes();
+  sim_->ScheduleAt(arrive_at, [packet, deliver = std::move(deliver)]() {
+    deliver(packet);
+  });
+  return true;
+}
+
+}  // namespace painter::netsim

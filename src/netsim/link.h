@@ -1,0 +1,58 @@
+// Capacity-constrained links with queueing.
+//
+// PAINTER "mitigates network problems such as path inflation and congestion"
+// (§1): the TM-Edge's continuous RTT measurements see queueing delay build up
+// on a congested ingress path and steer new flows away. This link model adds
+// the missing piece to PathModel's pure propagation delay: a FIFO service
+// queue with finite capacity, so offered load above the drain rate inflates
+// RTT smoothly and eventually drops packets.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/packet.h"
+#include "netsim/sim.h"
+
+namespace painter::netsim {
+
+class QueuedLink {
+ public:
+  struct Config {
+    double propagation_s = 0.010;  // one-way propagation delay
+    double bandwidth_bytes_per_s = 12.5e6;  // 100 Mbit/s
+    std::uint32_t queue_limit_bytes = 250'000;  // ~20 ms at 100 Mbit/s
+  };
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes_delivered = 0;
+  };
+
+  QueuedLink(Simulator& sim, Config config);
+
+  // Sends a packet; `deliver` runs at arrival time, or never if the queue
+  // overflows. Returns false on drop.
+  bool Send(const Packet& packet, std::function<void(const Packet&)> deliver);
+
+  // Queueing delay a packet sent now would experience (excl. propagation).
+  [[nodiscard]] double CurrentQueueingDelay() const;
+
+  // Instantaneous queue occupancy in bytes.
+  [[nodiscard]] std::uint32_t QueuedBytes() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void Drain(double now);
+
+  Simulator* sim_;
+  Config config_;
+  Stats stats_;
+  // The transmit queue is modelled analytically: busy_until_ is when the
+  // serializer frees up; queued bytes = what it still has to push.
+  double busy_until_ = 0.0;
+};
+
+}  // namespace painter::netsim

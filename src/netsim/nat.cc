@@ -1,0 +1,51 @@
+#include "netsim/nat.h"
+
+#include <stdexcept>
+
+namespace painter::netsim {
+
+NatTable::NatTable(std::vector<IpAddr> external_ips)
+    : external_ips_(std::move(external_ips)) {
+  if (external_ips_.empty()) {
+    throw std::invalid_argument{"NatTable: needs at least one external IP"};
+  }
+}
+
+std::optional<NatTable::Binding> NatTable::Bind(const FlowKey& inner) {
+  if (const auto it = forward_.find(inner); it != forward_.end()) {
+    return it->second;
+  }
+  if (forward_.size() >= Capacity()) return std::nullopt;
+
+  // Round-robin over (ip, port) slots, skipping occupied ones. Ports start
+  // at 1 (0 is reserved).
+  const std::size_t total = Capacity();
+  for (std::size_t attempt = 0; attempt < total; ++attempt) {
+    const std::size_t slot = next_slot_;
+    next_slot_ = (next_slot_ + 1) % total;
+    const IpAddr ip = external_ips_[slot / kPortsPerIp];
+    const Port port = static_cast<Port>(slot % kPortsPerIp + 1);
+    if (reverse_.contains(Pack(ip, port))) continue;
+    const Binding b{ip, port};
+    forward_.emplace(inner, b);
+    reverse_.emplace(Pack(ip, port), inner);
+    return b;
+  }
+  return std::nullopt;
+}
+
+std::optional<FlowKey> NatTable::Lookup(IpAddr nat_ip, Port nat_port) const {
+  const auto it = reverse_.find(Pack(nat_ip, nat_port));
+  if (it == reverse_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool NatTable::Release(const FlowKey& inner) {
+  const auto it = forward_.find(inner);
+  if (it == forward_.end()) return false;
+  reverse_.erase(Pack(it->second.nat_ip, it->second.nat_port));
+  forward_.erase(it);
+  return true;
+}
+
+}  // namespace painter::netsim

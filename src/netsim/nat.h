@@ -1,0 +1,58 @@
+// The TM-PoP "Known Flows" NAT table (Appendix D).
+//
+// TM-PoP NATs decapsulated client traffic so that service responses return
+// through the tunnel rather than directly to the client: the client's source
+// IP and port are stored, keyed by the allocated (TM-PoP IP, port). Each
+// TM-PoP IP address serves 65k connections; the table spans multiple
+// addresses and reports exhaustion explicitly.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/packet.h"
+
+namespace painter::netsim {
+
+class NatTable {
+ public:
+  // `external_ips`: the TM-PoP's addresses; capacity = 65535 ports per IP.
+  explicit NatTable(std::vector<IpAddr> external_ips);
+
+  struct Binding {
+    IpAddr nat_ip = 0;
+    Port nat_port = 0;
+  };
+
+  // Returns the existing binding for the inner flow, or allocates one.
+  // nullopt = table exhausted.
+  [[nodiscard]] std::optional<Binding> Bind(const FlowKey& inner);
+
+  // Looks up the client flow for return traffic addressed to (ip, port).
+  [[nodiscard]] std::optional<FlowKey> Lookup(IpAddr nat_ip,
+                                              Port nat_port) const;
+
+  // Removes a binding (flow ended); false if it did not exist.
+  bool Release(const FlowKey& inner);
+
+  [[nodiscard]] std::size_t ActiveBindings() const { return forward_.size(); }
+  [[nodiscard]] std::size_t Capacity() const {
+    return external_ips_.size() * kPortsPerIp;
+  }
+
+  static constexpr std::size_t kPortsPerIp = 65535;
+
+ private:
+  std::vector<IpAddr> external_ips_;
+  std::size_t next_slot_ = 0;  // round-robin allocation cursor
+  std::unordered_map<FlowKey, Binding> forward_;
+  // (ip, port) packed -> inner flow.
+  std::unordered_map<std::uint64_t, FlowKey> reverse_;
+
+  static std::uint64_t Pack(IpAddr ip, Port port) {
+    return (static_cast<std::uint64_t>(ip) << 16) | port;
+  }
+};
+
+}  // namespace painter::netsim

@@ -1,0 +1,40 @@
+#include "netsim/path.h"
+
+#include <stdexcept>
+
+namespace painter::netsim {
+
+PathModel PathModel::Fixed(double delay_s) {
+  return PathModel{[delay_s](double) { return std::optional<double>{delay_s}; }};
+}
+
+PathModel PathModel::UpThenDown(double delay_s, double down_at_s) {
+  return PathModel{[delay_s, down_at_s](double now) -> std::optional<double> {
+    if (now >= down_at_s) return std::nullopt;
+    return delay_s;
+  }};
+}
+
+PathModel PathModel::Piecewise(std::vector<Segment> segments) {
+  if (segments.empty()) {
+    throw std::invalid_argument{"Piecewise: no segments"};
+  }
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    if (segments[i].start_s < segments[i - 1].start_s) {
+      throw std::invalid_argument{"Piecewise: segments out of order"};
+    }
+  }
+  return PathModel{[segs = std::move(segments)](
+                       double now) -> std::optional<double> {
+    if (now < segs.front().start_s) return std::nullopt;  // not yet up
+    // Last segment whose start <= now.
+    const Segment* cur = &segs.front();
+    for (const Segment& s : segs) {
+      if (s.start_s <= now) cur = &s;
+      else break;
+    }
+    return cur->delay_s;
+  }};
+}
+
+}  // namespace painter::netsim

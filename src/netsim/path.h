@@ -1,0 +1,47 @@
+// Time-varying network paths.
+//
+// The failover experiment needs paths whose one-way delay and reachability
+// change over time: the chosen unicast prefix dies when its PoP fails; the
+// anycast prefix blackholes for about a second, then reconverges through the
+// surviving PoP with transient churn before settling (Fig. 10). A PathModel
+// answers "if a packet is sent now, when does it arrive?" — nullopt means
+// the packet is lost.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace painter::netsim {
+
+using PathDelayFn = std::function<std::optional<double>(double now_s)>;
+
+class PathModel {
+ public:
+  PathModel() : fn_([](double) { return std::nullopt; }) {}
+  explicit PathModel(PathDelayFn fn) : fn_(std::move(fn)) {}
+
+  // One-way delay in seconds for a packet sent at `now_s`; nullopt = lost.
+  [[nodiscard]] std::optional<double> OneWayDelay(double now_s) const {
+    return fn_(now_s);
+  }
+
+  // Always-up path with constant one-way delay.
+  [[nodiscard]] static PathModel Fixed(double delay_s);
+
+  // Up with `delay_s` until `down_at_s`, then permanently down.
+  [[nodiscard]] static PathModel UpThenDown(double delay_s, double down_at_s);
+
+  // Piecewise schedule: each segment [start, next start) has a delay or is
+  // down. Segments must be sorted by start time.
+  struct Segment {
+    double start_s = 0.0;
+    std::optional<double> delay_s;  // nullopt = down
+  };
+  [[nodiscard]] static PathModel Piecewise(std::vector<Segment> segments);
+
+ private:
+  PathDelayFn fn_;
+};
+
+}  // namespace painter::netsim

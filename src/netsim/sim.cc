@@ -1,0 +1,31 @@
+#include "netsim/sim.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace painter::netsim {
+
+void Simulator::Schedule(double delay_s, Handler fn) {
+  if (delay_s < 0.0) throw std::invalid_argument{"Schedule: negative delay"};
+  ScheduleAt(now_ + delay_s, std::move(fn));
+}
+
+void Simulator::ScheduleAt(double at_s, Handler fn) {
+  if (at_s < now_) throw std::invalid_argument{"ScheduleAt: time in the past"};
+  queue_.push(Event{at_s, next_seq_++, std::move(fn)});
+}
+
+void Simulator::Run(double until_s) {
+  while (!queue_.empty() && queue_.top().at <= until_s) {
+    // priority_queue::top is const; move out via const_cast-free copy of the
+    // handler after popping the metadata.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < until_s) now_ = until_s;
+}
+
+}  // namespace painter::netsim

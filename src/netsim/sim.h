@@ -1,0 +1,52 @@
+// Discrete-event simulator core.
+//
+// A minimal, deterministic event loop: handlers scheduled at absolute times,
+// FIFO among equal timestamps (insertion order breaks ties, so runs are
+// reproducible). The Traffic Manager prototype (Fig. 10) runs on top of
+// this: probes, tunnels, NAT, timers, and failure injection are all events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace painter::netsim {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  // Schedules `fn` to run `delay_s` seconds from now (>= 0).
+  void Schedule(double delay_s, Handler fn);
+
+  // Schedules `fn` at absolute simulation time `at_s` (>= Now()).
+  void ScheduleAt(double at_s, Handler fn);
+
+  // Runs events until the queue empties or simulation time passes `until_s`.
+  void Run(double until_s);
+
+  [[nodiscard]] double Now() const { return now_; }
+  [[nodiscard]] std::size_t ExecutedEvents() const { return executed_; }
+  [[nodiscard]] bool Empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace painter::netsim

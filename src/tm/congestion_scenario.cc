@@ -1,0 +1,92 @@
+#include "tm/congestion_scenario.h"
+
+#include <algorithm>
+
+namespace painter::tm {
+
+CongestionScenarioResult RunCongestionScenario(
+    const CongestionScenarioConfig& config) {
+  netsim::Simulator sim;
+
+  TmPop pop_a{sim, "PoP-A", {0x02020202}};
+  TmPop pop_b{sim, "PoP-B", {0x03030303}};
+  netsim::QueuedLink bottleneck{sim, config.bottleneck};
+
+  std::vector<TunnelConfig> tunnels;
+  tunnels.push_back(TunnelConfig{
+      .name = "preferred (bottlenecked)",
+      .remote_ip = 0x02020202,
+      .path = netsim::PathModel::Fixed(config.preferred_delay_s),
+      .pop = &pop_a,
+      .bottleneck = &bottleneck});
+  tunnels.push_back(TunnelConfig{
+      .name = "alternate (clean)",
+      .remote_ip = 0x03030303,
+      .path = netsim::PathModel::Fixed(config.alternate_delay_s),
+      .pop = &pop_b,
+      .bottleneck = nullptr});
+
+  TmEdge edge{sim, config.edge, std::move(tunnels)};
+  edge.Start();
+  edge.SampleEvery(config.sample_every_s, config.run_for_s);
+
+  // Background cross-traffic: packets pushed straight into the bottleneck at
+  // overload_factor x capacity during the congestion window.
+  const double pkt_interval =
+      config.cross_packet_bytes /
+      (config.bottleneck.bandwidth_bytes_per_s * config.overload_factor);
+  std::function<void()> pump = [&]() {
+    const double now = sim.Now();
+    if (now >= config.congest_until_s) return;
+    if (now >= config.congest_from_s) {
+      netsim::Packet cross;
+      cross.kind = netsim::PacketKind::kData;
+      cross.payload_bytes =
+          static_cast<std::uint32_t>(config.cross_packet_bytes);
+      bottleneck.Send(cross, [](const netsim::Packet&) {});
+    }
+    sim.Schedule(pkt_interval, pump);
+  };
+  sim.ScheduleAt(config.congest_from_s, pump);
+
+  sim.Run(config.run_for_s);
+
+  CongestionScenarioResult result;
+  for (std::size_t i = 0; i < edge.TunnelCount(); ++i) {
+    result.tunnel_names.push_back(edge.TunnelName(i));
+  }
+  result.samples = edge.samples();
+  result.switches = edge.failovers();
+  result.bottleneck_drops = bottleneck.stats().dropped;
+
+  // Summaries per phase.
+  double peak = 0.0;
+  for (const auto& s : result.samples) {
+    const auto& rtt = s.rtt_ms[0];
+    if (!rtt.has_value()) continue;
+    if (s.t < config.congest_from_s) {
+      result.rtt_before_ms = *rtt;
+    } else if (s.t < config.congest_until_s) {
+      peak = std::max(peak, *rtt);
+    } else if (s.t > config.congest_until_s + 5.0) {
+      result.rtt_after_ms = *rtt;
+    }
+  }
+  result.rtt_during_peak_ms = peak;
+
+  // Steering: chosen moved 0 -> 1 during congestion, then back to 0.
+  bool away = false;
+  for (const auto& s : result.samples) {
+    if (s.t >= config.congest_from_s && s.t < config.congest_until_s &&
+        s.chosen == 1) {
+      away = true;
+    }
+    if (away && s.t > config.congest_until_s + 5.0 && s.chosen == 0) {
+      result.steered_back = true;
+    }
+  }
+  result.steered_away = away;
+  return result;
+}
+
+}  // namespace painter::tm

@@ -1,0 +1,60 @@
+// Congestion steering scenario.
+//
+// PAINTER's second headline problem (besides path inflation) is congestion
+// (§1, §3.1): a previously-best ingress path can degrade when a shared
+// bottleneck fills. The TM-Edge sees the queueing delay in its probe RTTs —
+// no explicit congestion signal exists — and steers new flows to an
+// alternate prefix once the inflated RTT crosses the hysteresis margin,
+// returning after the bottleneck drains.
+//
+// Scenario: two PAINTER prefixes; the preferred one (lower base RTT)
+// traverses a capacity-constrained hop. Background cross-traffic saturates
+// that hop during [congest_from_s, congest_until_s).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tm/tm_edge.h"
+
+namespace painter::tm {
+
+struct CongestionScenarioConfig {
+  double run_for_s = 90.0;
+  double congest_from_s = 30.0;
+  double congest_until_s = 60.0;
+  double sample_every_s = 0.5;
+
+  double preferred_delay_s = 0.012;  // one-way, through the bottleneck
+  double alternate_delay_s = 0.020;  // one-way, clean path
+
+  netsim::QueuedLink::Config bottleneck{
+      .propagation_s = 0.0,  // propagation lives in the PathModel
+      .bandwidth_bytes_per_s = 12.5e6,
+      .queue_limit_bytes = 400'000,
+  };
+  // Cross-traffic intensity while congested, as a multiple of capacity.
+  double overload_factor = 1.4;
+  double cross_packet_bytes = 1400.0;
+
+  TmEdge::Config edge;
+};
+
+struct CongestionScenarioResult {
+  std::vector<std::string> tunnel_names;
+  std::vector<TmEdge::Sample> samples;
+  std::vector<TmEdge::FailoverEvent> switches;
+  // RTT on the preferred tunnel before / during / after congestion (ms).
+  double rtt_before_ms = 0.0;
+  double rtt_during_peak_ms = 0.0;
+  double rtt_after_ms = 0.0;
+  // Whether the TM-Edge moved to the alternate while congested and back.
+  bool steered_away = false;
+  bool steered_back = false;
+  std::uint64_t bottleneck_drops = 0;
+};
+
+[[nodiscard]] CongestionScenarioResult RunCongestionScenario(
+    const CongestionScenarioConfig& config);
+
+}  // namespace painter::tm

@@ -1,0 +1,55 @@
+#include "tm/control.h"
+
+#include <algorithm>
+
+namespace painter::tm {
+
+PrefixDirectory::PrefixDirectory(const cloudsim::Deployment& deployment)
+    : deployment_(&deployment) {}
+
+void PrefixDirectory::Install(const core::AdvertisementConfig& config) {
+  pops_of_prefix_.assign(config.PrefixCount(), {});
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    std::unordered_set<std::uint32_t> pops;
+    for (util::PeeringId sid : config.Sessions(p)) {
+      pops.insert(deployment_->peering(sid).pop.value());
+    }
+    auto& list = pops_of_prefix_[p];
+    list.reserve(pops.size());
+    for (std::uint32_t v : pops) list.push_back(util::PopId{v});
+    std::sort(list.begin(), list.end());
+  }
+}
+
+void PrefixDirectory::RestrictService(util::ServiceId service,
+                                      std::vector<util::PopId> pops) {
+  std::sort(pops.begin(), pops.end());
+  restrictions_[service] = std::move(pops);
+}
+
+std::vector<std::size_t> PrefixDirectory::DestinationsFor(
+    util::ServiceId service) const {
+  const auto it = restrictions_.find(service);
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < pops_of_prefix_.size(); ++p) {
+    if (pops_of_prefix_[p].empty()) continue;
+    if (it == restrictions_.end() || it->second.empty()) {
+      out.push_back(p);
+      continue;
+    }
+    const bool overlap = std::any_of(
+        pops_of_prefix_[p].begin(), pops_of_prefix_[p].end(),
+        [&](util::PopId pop) {
+          return std::binary_search(it->second.begin(), it->second.end(), pop);
+        });
+    if (overlap) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<util::PopId> PrefixDirectory::PopsOfPrefix(
+    std::size_t prefix) const {
+  return pops_of_prefix_.at(prefix);
+}
+
+}  // namespace painter::tm

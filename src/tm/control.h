@@ -1,0 +1,51 @@
+// Control channel: resolving available destinations (§3.2).
+//
+// "Each TM-Edge resolves the set of available TM-PoPs via communication with
+// an Azure service. TM-Edge queries TM-PoP for the available set of ingress
+// IP addresses for each service... Upon establishing tunnels with each
+// available destination, each TM-Edge identifies the TM-PoP it communicates
+// with along that tunnel" — the destination→PoP mapping is discovered, not
+// computed a priori, because a reused prefix lives at several PoPs at once.
+//
+// The directory is fed by the Advertisement Orchestrator when it installs a
+// configuration; services may be restricted to a subset of PoPs.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/advertisement.h"
+#include "cloudsim/deployment.h"
+
+namespace painter::tm {
+
+class PrefixDirectory {
+ public:
+  explicit PrefixDirectory(const cloudsim::Deployment& deployment);
+
+  // Installs the current advertisement configuration (orchestrator side).
+  void Install(const core::AdvertisementConfig& config);
+
+  // Restricts a service to a set of PoPs (empty = served everywhere).
+  void RestrictService(util::ServiceId service, std::vector<util::PopId> pops);
+
+  // Destinations (prefix indices) usable for a service: prefixes announced
+  // at one or more of the service's PoPs. The anycast prefix (index -1 by
+  // convention) is always available and not included here.
+  [[nodiscard]] std::vector<std::size_t> DestinationsFor(
+      util::ServiceId service) const;
+
+  // PoPs at which a prefix is announced (a reused prefix has several).
+  [[nodiscard]] std::vector<util::PopId> PopsOfPrefix(std::size_t prefix) const;
+
+  [[nodiscard]] std::size_t PrefixCount() const { return pops_of_prefix_.size(); }
+
+ private:
+  const cloudsim::Deployment* deployment_;
+  std::vector<std::vector<util::PopId>> pops_of_prefix_;
+  std::unordered_map<util::ServiceId, std::vector<util::PopId>> restrictions_;
+};
+
+}  // namespace painter::tm

@@ -1,0 +1,97 @@
+#include "tm/failover_scenario.h"
+
+#include <memory>
+
+#include "netsim/path.h"
+
+namespace painter::tm {
+
+FailoverScenarioResult RunFailoverScenario(
+    const FailoverScenarioConfig& config) {
+  netsim::Simulator sim;
+
+  TmPop pop_a{sim, "PoP-A", {0x02020202}};
+  TmPop pop_b{sim, "PoP-B", {0x03030303}};
+
+  std::vector<TunnelConfig> tunnels;
+  // Tunnel 0: anycast (1.1.1.0/24). Before failure it lands at PoP-A; after
+  // the blackhole it re-emerges at PoP-B with a transient path, settling
+  // once BGP converges. The TM-PoP behind it changes with the reroute; for
+  // the latency/selection dynamics what matters is the path profile, so we
+  // keep PoP-B as its host after failure via a piecewise path and route the
+  // pre-failure segment to PoP-A's address space.
+  tunnels.push_back(TunnelConfig{
+      .name = "1.1.1.0/24 anycast",
+      .remote_ip = 0x01010101,
+      .path = netsim::PathModel::Piecewise({
+          {.start_s = 0.0, .delay_s = config.anycast_delay_before_s},
+          {.start_s = config.fail_at_s, .delay_s = std::nullopt},
+          {.start_s = config.fail_at_s + config.anycast_unreachable_s,
+           .delay_s = config.anycast_delay_during_s},
+          {.start_s = config.fail_at_s + config.anycast_converge_s,
+           .delay_s = config.anycast_delay_after_s},
+      }),
+      .pop = &pop_b});
+  // Tunnel 1: the chosen unicast prefix at PoP-A; dies at fail_at_s.
+  tunnels.push_back(TunnelConfig{
+      .name = "2.2.2.0/24 @ PoP-A",
+      .remote_ip = 0x02020202,
+      .path = netsim::PathModel::UpThenDown(config.chosen_delay_s,
+                                            config.fail_at_s),
+      .pop = &pop_a});
+  // Remaining tunnels: single-transit prefixes at PoP-B, unaffected.
+  for (std::size_t k = 0; k < config.alt_delays_s.size(); ++k) {
+    tunnels.push_back(TunnelConfig{
+        .name = std::to_string(k + 3) + "." + std::to_string(k + 3) + "." +
+                std::to_string(k + 3) + ".0/24 @ PoP-B",
+        .remote_ip = 0x03030300u + static_cast<netsim::IpAddr>(k),
+        .path = netsim::PathModel::Fixed(config.alt_delays_s[k]),
+        .pop = &pop_b});
+  }
+
+  TmEdge edge{sim, config.edge, std::move(tunnels)};
+  edge.Start();
+  edge.SampleEvery(config.sample_every_s, config.run_for_s);
+
+  // Client traffic: a long-lived flow started shortly after boot (it will be
+  // pinned to the pre-failure best and break when PoP-A dies, per the
+  // immutable-mapping rule) and a fresh flow after the failure (lands on the
+  // new best).
+  sim.Schedule(1.0, [&edge, &config]() {
+    edge.StartFlow(netsim::FlowKey{.src_ip = 0xc0a80001,
+                                   .dst_ip = 0x08080808,
+                                   .src_port = 5001,
+                                   .dst_port = 443},
+                   config.flow_packets, config.flow_packet_interval_s);
+  });
+  sim.Schedule(config.fail_at_s + 5.0, [&edge]() {
+    edge.StartFlow(netsim::FlowKey{.src_ip = 0xc0a80001,
+                                   .dst_ip = 0x08080808,
+                                   .src_port = 5002,
+                                   .dst_port = 443},
+                   200, 0.05);
+  });
+
+  sim.Run(config.run_for_s);
+
+  FailoverScenarioResult result;
+  for (std::size_t i = 0; i < edge.TunnelCount(); ++i) {
+    result.tunnel_names.push_back(edge.TunnelName(i));
+  }
+  result.samples = edge.samples();
+  result.failovers = edge.failovers();
+  result.pop_a_data_packets = pop_a.stats().data_packets;
+  result.pop_b_data_packets = pop_b.stats().data_packets;
+
+  // Detection: the first failover away from tunnel 1 after the failure.
+  for (const auto& ev : edge.failovers()) {
+    if (ev.t >= config.fail_at_s && ev.from == 1) {
+      result.detection_delay_s = ev.t - config.fail_at_s;
+      result.failover_target = ev.to;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace painter::tm

@@ -1,0 +1,57 @@
+// The Fig. 10 failover experiment as a reusable scenario.
+//
+// Setup mirrors §5.2.3: an anycast prefix (1.1.1.0/24) served from two PoPs,
+// one single-transit prefix at PoP-A (2.2.2.0/24, lowest latency and
+// initially chosen) and several at PoP-B (3.3.3.0/24, ...). At fail_at_s,
+// PoP-A fails: its unicast prefix is withdrawn and the anycast prefix
+// blackholes for ~1 s, then reconverges through PoP-B with degraded latency
+// until BGP settles ~15 s later. The TM-Edge should detect the loss within
+// ~1.3 RTT and switch to the next-best prefix at PoP-B.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tm/tm_edge.h"
+
+namespace painter::tm {
+
+struct FailoverScenarioConfig {
+  double run_for_s = 128.0;
+  double fail_at_s = 60.0;
+  double sample_every_s = 0.5;
+
+  // One-way delays (seconds). RTT = 2x. As in Fig. 10, the anycast path is
+  // inflated relative to PAINTER's unicast choices.
+  double chosen_delay_s = 0.014;               // 2.2.2.0/24 via PoP-A
+  std::vector<double> alt_delays_s = {0.024, 0.027, 0.029};  // PoP-B prefixes
+
+  double anycast_delay_before_s = 0.031;  // anycast lands at PoP-A, inflated
+  double anycast_unreachable_s = 1.0;     // blackhole after withdrawal
+  double anycast_delay_during_s = 0.032;  // transient post-failure path
+  double anycast_converge_s = 15.0;       // churn duration until final path
+  double anycast_delay_after_s = 0.024;   // settled path via PoP-B
+
+  TmEdge::Config edge;
+  // Client traffic: one long-lived flow plus periodic short flows.
+  std::size_t flow_packets = 2000;
+  double flow_packet_interval_s = 0.05;
+};
+
+struct FailoverScenarioResult {
+  std::vector<std::string> tunnel_names;
+  std::vector<TmEdge::Sample> samples;
+  std::vector<TmEdge::FailoverEvent> failovers;
+  // Time from the failure to the TM-Edge switching away from the dead
+  // prefix; negative if it never switched.
+  double detection_delay_s = -1.0;
+  // Which tunnel it switched to (index), -1 if none.
+  int failover_target = -1;
+  std::size_t pop_a_data_packets = 0;
+  std::size_t pop_b_data_packets = 0;
+};
+
+[[nodiscard]] FailoverScenarioResult RunFailoverScenario(
+    const FailoverScenarioConfig& config);
+
+}  // namespace painter::tm

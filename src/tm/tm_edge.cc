@@ -1,0 +1,196 @@
+#include "tm/tm_edge.h"
+
+#include <algorithm>
+
+namespace painter::tm {
+
+TmEdge::TmEdge(netsim::Simulator& sim, Config config,
+               std::vector<TunnelConfig> tunnels)
+    : sim_(&sim), config_(config), rng_(config.seed) {
+  tunnels_.reserve(tunnels.size());
+  for (auto& t : tunnels) {
+    Tunnel tun;
+    tun.config = std::move(t);
+    tunnels_.push_back(std::move(tun));
+  }
+}
+
+double TmEdge::Jitter() {
+  return 1.0 + config_.delay_jitter * rng_.Uniform(-1.0, 1.0);
+}
+
+void TmEdge::Start() {
+  for (std::size_t i = 0; i < tunnels_.size(); ++i) ProbeTunnel(i);
+}
+
+double TmEdge::ProbeTimeout(const Tunnel& t) const {
+  const double rtt = t.have_rtt ? t.rtt_ewma_s : 0.2;  // generous cold start
+  return std::max(config_.min_probe_timeout_s,
+                  rtt * config_.failover_rtt_multiplier);
+}
+
+void TmEdge::SendViaTunnel(std::size_t i, netsim::Packet packet) {
+  Tunnel& tun = tunnels_[i];
+  packet.outer = netsim::FlowKey{.src_ip = 0x0a000001,
+                                 .dst_ip = tun.config.remote_ip,
+                                 .src_port = 40000,
+                                 .dst_port = 4500,
+                                 .proto = 17};
+  packet.sent_at = sim_->Now();
+  const auto delay = tun.config.path.OneWayDelay(sim_->Now());
+  if (!delay.has_value()) return;  // path down: packet lost in flight
+
+  // Through the bottleneck hop first (queueing + possible drop), then the
+  // propagation path.
+  if (tun.config.bottleneck != nullptr) {
+    const double path_delay = *delay * Jitter();
+    tun.config.bottleneck->Send(packet, [this, i, path_delay](
+                                            const netsim::Packet& p) {
+      sim_->Schedule(path_delay, [this, i, p]() { DeliverToPop(i, p); });
+    });
+    return;
+  }
+
+  const double arrive = *delay * Jitter();
+  sim_->Schedule(arrive, [this, i, packet]() { DeliverToPop(i, packet); });
+}
+
+void TmEdge::DeliverToPop(std::size_t i, const netsim::Packet& packet) {
+  Tunnel& tun = tunnels_[i];
+  if (tun.config.pop == nullptr) return;
+  tun.config.pop->HandleArrival(packet, [this, i](netsim::Packet reply) {
+    // Reverse direction over the same tunnel path.
+    const auto back = tunnels_[i].config.path.OneWayDelay(sim_->Now());
+    if (!back.has_value()) return;  // reply lost
+    sim_->Schedule(*back * Jitter(), [this, i, reply]() {
+      if (reply.kind == netsim::PacketKind::kProbeReply) {
+        OnProbeReply(i, reply.probe_id);
+      } else {
+        // Data response delivered to the client.
+        const netsim::FlowKey forward{.src_ip = reply.inner.dst_ip,
+                                      .dst_ip = reply.inner.src_ip,
+                                      .src_port = reply.inner.dst_port,
+                                      .dst_port = reply.inner.src_port,
+                                      .proto = reply.inner.proto};
+        const auto it = flows_.find(forward);
+        if (it != flows_.end()) ++it->second.delivered;
+      }
+    });
+  });
+}
+
+void TmEdge::ProbeTunnel(std::size_t i) {
+  Tunnel& tun = tunnels_[i];
+  const std::uint64_t id = tun.next_probe_id++;
+  tun.outstanding.emplace(id, sim_->Now());
+
+  netsim::Packet probe;
+  probe.kind = netsim::PacketKind::kProbe;
+  probe.probe_id = id;
+  probe.payload_bytes = 64;
+  SendViaTunnel(i, probe);
+
+  sim_->Schedule(ProbeTimeout(tun), [this, i, id]() { OnProbeTimeout(i, id); });
+  sim_->Schedule(config_.probe_interval_s, [this, i]() { ProbeTunnel(i); });
+}
+
+void TmEdge::OnProbeReply(std::size_t i, std::uint64_t probe_id) {
+  Tunnel& tun = tunnels_[i];
+  const auto it = tun.outstanding.find(probe_id);
+  if (it == tun.outstanding.end()) return;  // already timed out
+  const double rtt = sim_->Now() - it->second;
+  tun.outstanding.erase(it);
+
+  if (!tun.have_rtt) {
+    tun.rtt_ewma_s = rtt;
+    tun.have_rtt = true;
+  } else {
+    tun.rtt_ewma_s = config_.rtt_ewma_alpha * rtt +
+                     (1.0 - config_.rtt_ewma_alpha) * tun.rtt_ewma_s;
+  }
+  tun.up = true;
+  // Continuous selection: every fresh measurement can change the best
+  // destination (rising queueing delay on the chosen path, recovery of a
+  // better one). Hysteresis inside Reselect keeps near-ties from flapping.
+  Reselect();
+}
+
+void TmEdge::OnProbeTimeout(std::size_t i, std::uint64_t probe_id) {
+  Tunnel& tun = tunnels_[i];
+  const auto it = tun.outstanding.find(probe_id);
+  if (it == tun.outstanding.end()) return;  // answered in time
+  tun.outstanding.erase(it);
+  if (tun.up) {
+    tun.up = false;
+    if (chosen_ == static_cast<int>(i)) Reselect();
+  }
+}
+
+void TmEdge::Reselect() {
+  int best = -1;
+  double best_rtt = 0.0;
+  for (std::size_t i = 0; i < tunnels_.size(); ++i) {
+    const Tunnel& t = tunnels_[i];
+    if (!t.up || !t.have_rtt) continue;
+    if (best < 0 || t.rtt_ewma_s < best_rtt) {
+      best = static_cast<int>(i);
+      best_rtt = t.rtt_ewma_s;
+    }
+  }
+  if (best == chosen_) return;
+
+  // Hysteresis: keep the incumbent unless it is down or the challenger is
+  // better by the configured margin.
+  if (chosen_ >= 0 && tunnels_[chosen_].up && best >= 0) {
+    const double margin_s = config_.switch_hysteresis_ms / 1000.0;
+    if (tunnels_[chosen_].rtt_ewma_s - best_rtt < margin_s) return;
+  }
+  failovers_.push_back(FailoverEvent{sim_->Now(), chosen_, best});
+  chosen_ = best;
+}
+
+void TmEdge::StartFlow(const netsim::FlowKey& flow, std::size_t packets,
+                       double interval_s, std::uint32_t payload_bytes) {
+  // Pin the flow to the destination that is best right now; the mapping is
+  // immutable for the flow's lifetime (§3.2) — packets keep using it even if
+  // a better destination appears (or this one dies).
+  FlowStats& stats = flows_[flow];
+  stats.tunnel = chosen_;
+  if (stats.tunnel < 0) return;  // nothing usable; flow fails to start
+
+  for (std::size_t k = 0; k < packets; ++k) {
+    sim_->Schedule(interval_s * static_cast<double>(k),
+                   [this, flow, payload_bytes]() {
+                     const auto it = flows_.find(flow);
+                     if (it == flows_.end() || it->second.tunnel < 0) return;
+                     netsim::Packet p;
+                     p.kind = netsim::PacketKind::kData;
+                     p.inner = flow;
+                     p.payload_bytes = payload_bytes;
+                     ++it->second.sent;
+                     SendViaTunnel(static_cast<std::size_t>(it->second.tunnel),
+                                   p);
+                   });
+  }
+}
+
+std::optional<double> TmEdge::TunnelRttMs(std::size_t i) const {
+  const Tunnel& t = tunnels_.at(i);
+  if (!t.up || !t.have_rtt) return std::nullopt;
+  return t.rtt_ewma_s * 1000.0;
+}
+
+void TmEdge::SampleEvery(double interval_s, double until_s) {
+  if (sim_->Now() > until_s) return;
+  Sample s;
+  s.t = sim_->Now();
+  s.chosen = chosen_;
+  for (std::size_t i = 0; i < tunnels_.size(); ++i) {
+    s.rtt_ms.push_back(TunnelRttMs(i));
+  }
+  samples_.push_back(std::move(s));
+  sim_->Schedule(interval_s,
+                 [this, interval_s, until_s]() { SampleEvery(interval_s, until_s); });
+}
+
+}  // namespace painter::tm

@@ -1,0 +1,134 @@
+// TM-Edge: the edge-proxy Traffic Manager node (§3.2).
+//
+// Sits in a cloud-edge network stack inside the enterprise. It maintains one
+// tunnel per available destination prefix (resolved from the Advertisement
+// Orchestrator via the control channel), continuously probes every tunnel,
+// selects the best destination with hysteresis to avoid oscillation, pins
+// each flow to a destination for its lifetime (immutable mapping, §3.2), and
+// fails over within ~1.3 RTT when the chosen path stops answering (§5.2.3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/link.h"
+#include "netsim/packet.h"
+#include "netsim/path.h"
+#include "netsim/sim.h"
+#include "tm/tm_pop.h"
+#include "util/rng.h"
+
+namespace painter::tm {
+
+struct TunnelConfig {
+  std::string name;              // e.g. "2.2.2.0/24 @ PoP-A"
+  netsim::IpAddr remote_ip = 0;  // destination address within the prefix
+  netsim::PathModel path;        // bidirectional path to the TM-PoP
+  TmPop* pop = nullptr;
+  // Optional capacity-constrained forward (edge→PoP) hop. When set, packets
+  // traverse it before the PathModel delay: queueing inflates measured RTT
+  // and overload drops packets, which is how the TM-Edge senses congestion
+  // on an ingress path (§1) without any explicit signal.
+  netsim::QueuedLink* bottleneck = nullptr;
+};
+
+class TmEdge {
+ public:
+  struct Config {
+    double probe_interval_s = 0.010;
+    // Failure declared when a probe goes unanswered for rtt * multiplier
+    // (the paper measured typical detection at 1.3 RTT).
+    double failover_rtt_multiplier = 1.3;
+    double min_probe_timeout_s = 0.004;
+    // Only switch destinations when the challenger is better by this margin
+    // (oscillation avoidance, following [38]).
+    double switch_hysteresis_ms = 3.0;
+    double rtt_ewma_alpha = 0.3;
+    // Multiplicative jitter applied to path delays (fraction, +/-).
+    double delay_jitter = 0.05;
+    std::uint64_t seed = 1;
+  };
+
+  struct Sample {
+    double t = 0.0;
+    int chosen = -1;  // tunnel index, -1 = none usable
+    std::vector<std::optional<double>> rtt_ms;  // per tunnel; nullopt = down
+  };
+
+  struct FailoverEvent {
+    double t = 0.0;
+    int from = -1;
+    int to = -1;
+  };
+
+  struct FlowStats {
+    int tunnel = -1;
+    std::size_t sent = 0;
+    std::size_t delivered = 0;  // responses received by the client
+  };
+
+  TmEdge(netsim::Simulator& sim, Config config,
+         std::vector<TunnelConfig> tunnels);
+
+  // Begins probing all tunnels and selects an initial destination.
+  void Start();
+
+  // Starts a client flow: `packets` data packets at `interval_s` spacing,
+  // pinned to the destination that is best at the first packet.
+  void StartFlow(const netsim::FlowKey& flow, std::size_t packets,
+                 double interval_s, std::uint32_t payload_bytes = 1400);
+
+  // Samples the per-tunnel state every `interval_s` until `until_s`.
+  void SampleEvery(double interval_s, double until_s);
+
+  [[nodiscard]] int chosen() const { return chosen_; }
+  [[nodiscard]] std::size_t TunnelCount() const { return tunnels_.size(); }
+  [[nodiscard]] const std::string& TunnelName(std::size_t i) const {
+    return tunnels_[i].config.name;
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] const std::vector<FailoverEvent>& failovers() const {
+    return failovers_;
+  }
+  [[nodiscard]] const std::unordered_map<netsim::FlowKey, FlowStats>& flows()
+      const {
+    return flows_;
+  }
+  [[nodiscard]] std::optional<double> TunnelRttMs(std::size_t i) const;
+
+ private:
+  struct Tunnel {
+    TunnelConfig config;
+    bool up = false;
+    double rtt_ewma_s = 0.0;
+    bool have_rtt = false;
+    std::uint64_t next_probe_id = 1;
+    // probe id -> send time, for timeout detection.
+    std::unordered_map<std::uint64_t, double> outstanding;
+  };
+
+  void ProbeTunnel(std::size_t i);
+  void OnProbeReply(std::size_t i, std::uint64_t probe_id);
+  void OnProbeTimeout(std::size_t i, std::uint64_t probe_id);
+  void Reselect();
+  [[nodiscard]] double ProbeTimeout(const Tunnel& t) const;
+  // Sends a packet over tunnel i; schedules arrival at the TM-PoP (or drops
+  // it if the path is down at send time / the bottleneck queue overflows).
+  void SendViaTunnel(std::size_t i, netsim::Packet packet);
+  // Hands an arrived packet to the tunnel's TM-PoP and wires the reply path.
+  void DeliverToPop(std::size_t i, const netsim::Packet& packet);
+  [[nodiscard]] double Jitter();
+
+  netsim::Simulator* sim_;
+  Config config_;
+  std::vector<Tunnel> tunnels_;
+  util::Rng rng_;
+  int chosen_ = -1;
+  std::vector<Sample> samples_;
+  std::vector<FailoverEvent> failovers_;
+  std::unordered_map<netsim::FlowKey, FlowStats> flows_;
+};
+
+}  // namespace painter::tm

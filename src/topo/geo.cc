@@ -1,0 +1,101 @@
+#include "topo/geo.h"
+
+#include <cmath>
+
+namespace painter::topo {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+
+double Radians(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+util::Km Distance(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = Radians(a.lat_deg);
+  const double lat2 = Radians(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = Radians(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return util::Km{2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)))};
+}
+
+util::Millis MinLatency(const GeoPoint& a, const GeoPoint& b) {
+  return util::FiberLatency(Distance(a, b));
+}
+
+std::vector<Metro> WorldMetros() {
+  // (name, lat, lon, population weight). Weights roughly follow metro size so
+  // that synthetic traffic volume concentrates the way cloud traffic does.
+  struct Raw {
+    const char* name;
+    double lat, lon, weight;
+  };
+  static constexpr Raw kRaw[] = {
+      // North America
+      {"NewYork", 40.71, -74.01, 10.0},
+      {"Ashburn", 39.04, -77.49, 6.0},
+      {"Chicago", 41.88, -87.63, 7.0},
+      {"Dallas", 32.78, -96.80, 6.0},
+      {"Miami", 25.76, -80.19, 4.5},
+      {"Atlanta", 33.75, -84.39, 5.0},
+      {"LosAngeles", 34.05, -118.24, 9.0},
+      {"Seattle", 47.61, -122.33, 4.5},
+      {"SiliconValley", 37.37, -122.04, 6.0},
+      {"Toronto", 43.65, -79.38, 4.5},
+      {"MexicoCity", 19.43, -99.13, 6.0},
+      {"Denver", 39.74, -104.99, 2.5},
+      {"Honolulu", 21.31, -157.86, 0.8},
+      // South America
+      {"SaoPaulo", -23.55, -46.63, 8.0},
+      {"Santiago", -33.45, -70.67, 3.0},
+      {"Bogota", 4.71, -74.07, 3.5},
+      {"BuenosAires", -34.60, -58.38, 4.0},
+      // Europe
+      {"London", 51.51, -0.13, 9.0},
+      {"Amsterdam", 52.37, 4.90, 5.0},
+      {"Frankfurt", 50.11, 8.68, 6.0},
+      {"Paris", 48.86, 2.35, 7.0},
+      {"Madrid", 40.42, -3.70, 4.0},
+      {"Milan", 45.46, 9.19, 4.0},
+      {"Stockholm", 59.33, 18.07, 2.5},
+      {"Warsaw", 52.23, 21.01, 3.0},
+      {"Moscow", 55.76, 37.62, 5.0},
+      // Africa / Middle East
+      {"Johannesburg", -26.20, 28.05, 4.0},
+      {"Lagos", 6.52, 3.38, 5.0},
+      {"Cairo", 30.04, 31.24, 5.0},
+      {"Dubai", 25.20, 55.27, 3.5},
+      {"TelAviv", 32.07, 34.78, 2.0},
+      // Asia
+      {"Mumbai", 19.08, 72.88, 8.0},
+      {"Delhi", 28.70, 77.10, 8.0},
+      {"Bangalore", 12.97, 77.59, 5.0},
+      {"Singapore", 1.35, 103.82, 5.0},
+      {"Tokyo", 35.68, 139.69, 9.0},
+      {"Osaka", 34.69, 135.50, 4.5},
+      {"Seoul", 37.57, 126.98, 6.0},
+      {"HongKong", 22.32, 114.17, 4.5},
+      {"Taipei", 25.03, 121.57, 3.0},
+      {"Jakarta", -6.21, 106.85, 6.0},
+      {"Bangkok", 13.76, 100.50, 4.0},
+      // Oceania
+      {"Sydney", -33.87, 151.21, 4.0},
+      {"Melbourne", -37.81, 144.96, 3.5},
+      {"Auckland", -36.85, 174.76, 1.2},
+  };
+  std::vector<Metro> metros;
+  metros.reserve(std::size(kRaw));
+  for (std::size_t i = 0; i < std::size(kRaw); ++i) {
+    metros.push_back(Metro{
+        .id = util::MetroId{static_cast<std::uint32_t>(i)},
+        .name = kRaw[i].name,
+        .location = GeoPoint{kRaw[i].lat, kRaw[i].lon},
+        .population_weight = kRaw[i].weight,
+    });
+  }
+  return metros;
+}
+
+}  // namespace painter::topo

@@ -1,0 +1,43 @@
+// Geographic primitives: coordinates, great-circle distance, and the world's
+// metropolitan areas used to place PoPs, user groups, and probes.
+//
+// The paper reasons about distance constantly: D_reuse excludes ingresses more
+// than a threshold farther than the closest advertising PoP (§3.1), geolocation
+// targets are accepted within GP km of a PoP (§5.1.1 / App. B), and speed of
+// light in fiber bounds feasible latencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/units.h"
+
+namespace painter::topo {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// Great-circle distance (haversine) on a spherical Earth.
+[[nodiscard]] util::Km Distance(const GeoPoint& a, const GeoPoint& b);
+
+// Lower bound on one-way latency between two points (straight fiber).
+[[nodiscard]] util::Millis MinLatency(const GeoPoint& a, const GeoPoint& b);
+
+// A metropolitan area: user groups are (AS, metro) pairs, per the paper's UG
+// definition ("users in the same AS and large metropolitan area").
+struct Metro {
+  util::MetroId id;
+  std::string name;
+  GeoPoint location;
+  // Relative population weight; drives traffic volume and UG placement.
+  double population_weight = 1.0;
+};
+
+// A fixed catalog of world metros, spread across six continents like the
+// paper's Vultr deployment (Fig. 5). Deterministic: no RNG involved.
+[[nodiscard]] std::vector<Metro> WorldMetros();
+
+}  // namespace painter::topo

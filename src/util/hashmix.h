@@ -1,0 +1,29 @@
+// Deterministic 64-bit mixing for hash-seeded draws.
+//
+// Stochastic-but-stable properties (a UG's latency through a peering, an
+// AS's exit quirk for a region) are derived by mixing ids into a seed, so
+// the same (seed, ids...) always yields the same value regardless of query
+// order. Uses the splitmix64 finalizer.
+#pragma once
+
+#include <cstdint>
+
+namespace painter::util {
+
+[[nodiscard]] constexpr std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b,
+                                              std::uint64_t c = 0,
+                                              std::uint64_t d = 0) {
+  auto mix = [](std::uint64_t x) constexpr {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  };
+  std::uint64_t h = mix(a);
+  h = mix(h ^ b);
+  h = mix(h ^ c);
+  h = mix(h ^ d);
+  return h;
+}
+
+}  // namespace painter::util

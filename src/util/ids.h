@@ -1,0 +1,74 @@
+// Strong identifier types shared across PAINTER modules.
+//
+// Every entity in the simulation (AS, PoP, peering, prefix, user group, ...)
+// is referred to by a small integer id. Raw integers invite cross-wiring an
+// AsId into a PopId slot, so each id is a distinct type with explicit
+// construction and a `value()` accessor. Ids are hashable and ordered so they
+// work as keys in standard containers.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace painter::util {
+
+// CRTP base giving each id type value semantics, comparisons, and hashing.
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::uint32_t;
+
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : v_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalidValue; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.v_;
+  }
+
+ private:
+  value_type v_ = kInvalidValue;
+};
+
+struct AsTag {};
+struct PopTag {};
+struct PeeringTag {};
+struct PrefixTag {};
+struct UgTag {};
+struct MetroTag {};
+struct ResolverTag {};
+struct NodeTag {};
+struct ServiceTag {};
+
+using AsId = StrongId<AsTag>;            // autonomous system
+using PopId = StrongId<PopTag>;          // cloud point of presence
+using PeeringId = StrongId<PeeringTag>;  // (peer AS, PoP) interconnection
+using PrefixId = StrongId<PrefixTag>;    // an advertisable IP prefix
+using UgId = StrongId<UgTag>;            // user group: (AS, metro)
+using MetroId = StrongId<MetroTag>;      // metropolitan area
+using ResolverId = StrongId<ResolverTag>;  // recursive DNS resolver
+using NodeId = StrongId<NodeTag>;        // packet-simulator node
+using ServiceId = StrongId<ServiceTag>;  // cloud service / tenant
+
+}  // namespace painter::util
+
+namespace std {
+template <typename Tag>
+struct hash<painter::util::StrongId<Tag>> {
+  size_t operator()(painter::util::StrongId<Tag> id) const noexcept {
+    return std::hash<typename painter::util::StrongId<Tag>::value_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the reproduction (topology generation, latency
+// inflation draws, probe jitter, flow arrivals) draw from an Rng that is
+// explicitly seeded. There is no global RNG and no time-based seeding, so a
+// given seed reproduces an experiment bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace painter::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Derive an independent child stream; used so that sub-generators (e.g. one
+  // per UG) do not perturb each other when call order changes.
+  [[nodiscard]] Rng Fork() { return Rng{engine_()}; }
+
+  [[nodiscard]] double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  [[nodiscard]] double Uniform01() { return Uniform(0.0, 1.0); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  [[nodiscard]] std::size_t Index(std::size_t n) {
+    return static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  [[nodiscard]] bool Bernoulli(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  [[nodiscard]] double Exponential(double rate) {
+    return std::exponential_distribution<double>{rate}(engine_);
+  }
+
+  [[nodiscard]] double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+  }
+
+  [[nodiscard]] double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>{mu, sigma}(engine_);
+  }
+
+  // Pareto variate with scale x_m and shape alpha; heavy-tailed volumes and
+  // flow durations use this.
+  [[nodiscard]] double Pareto(double x_m, double alpha) {
+    const double u = Uniform01();
+    return x_m / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  // Sample an index proportionally to non-negative weights. Returns n if all
+  // weights are zero (caller decides the fallback).
+  [[nodiscard]] std::size_t WeightedIndex(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return weights.size();
+    double x = Uniform(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  void Shuffle(std::span<T> items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace painter::util

@@ -1,0 +1,109 @@
+#include "util/stats.h"
+
+#include <numeric>
+
+namespace painter::util {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double WeightedMean(std::span<const double> xs,
+                    std::span<const double> weights) {
+  if (xs.size() != weights.size()) {
+    throw std::invalid_argument{"WeightedMean: size mismatch"};
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += xs[i] * weights[i];
+    den += weights[i];
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Percentile(std::span<const double> xs, double pct) {
+  if (xs.empty()) return 0.0;
+  if (pct < 0.0 || pct > 100.0) {
+    throw std::invalid_argument{"Percentile: pct out of range"};
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void EmpiricalCdf::Add(double x, double weight) {
+  if (weight < 0.0) throw std::invalid_argument{"EmpiricalCdf: negative weight"};
+  samples_.emplace_back(x, weight);
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void EmpiricalCdf::Sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::FractionAtOrBelow(double x) const {
+  if (samples_.empty() || total_weight_ == 0.0) return 0.0;
+  Sort();
+  double acc = 0.0;
+  for (const auto& [v, w] : samples_) {
+    if (v > x) break;
+    acc += w;
+  }
+  return acc / total_weight_;
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"Quantile: q out of range"};
+  Sort();
+  const double target = q * total_weight_;
+  double acc = 0.0;
+  for (const auto& [v, w] : samples_) {
+    acc += w;
+    if (acc >= target) return v;
+  }
+  return samples_.back().first;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Series(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  Sort();
+  const double lo = samples_.front().first;
+  const double hi = samples_.back().first;
+  if (lo == hi) {
+    out.emplace_back(lo, 1.0);
+    return out;
+  }
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, FractionAtOrBelow(x));
+  }
+  return out;
+}
+
+}  // namespace painter::util

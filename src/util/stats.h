@@ -1,0 +1,78 @@
+// Summary statistics and empirical distributions.
+//
+// The evaluation figures are mostly CDFs, percentiles, and weighted averages;
+// this header centralizes those so every bench reports them the same way.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace painter::util {
+
+[[nodiscard]] double Mean(std::span<const double> xs);
+[[nodiscard]] double WeightedMean(std::span<const double> xs,
+                                  std::span<const double> weights);
+[[nodiscard]] double Variance(std::span<const double> xs);
+[[nodiscard]] double StdDev(std::span<const double> xs);
+
+// Percentile in [0, 100] with linear interpolation between order statistics.
+[[nodiscard]] double Percentile(std::span<const double> xs, double pct);
+
+[[nodiscard]] inline double Median(std::span<const double> xs) {
+  return Percentile(xs, 50.0);
+}
+
+// Empirical CDF over accumulated samples, optionally weighted.
+class EmpiricalCdf {
+ public:
+  void Add(double x, double weight = 1.0);
+
+  // Fraction of weight at or below x.
+  [[nodiscard]] double FractionAtOrBelow(double x) const;
+
+  // Smallest sample value with CDF >= q (q in [0,1]).
+  [[nodiscard]] double Quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  // Evenly spaced (value, cumulative fraction) points for printing a CDF
+  // series; at most `points` entries.
+  [[nodiscard]] std::vector<std::pair<double, double>> Series(
+      std::size_t points = 20) const;
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<std::pair<double, double>> samples_;  // (value, weight)
+  mutable bool sorted_ = true;
+  double total_weight_ = 0.0;
+};
+
+// Online mean/min/max accumulator for streaming measurements.
+class Accumulator {
+ public:
+  void Add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace painter::util

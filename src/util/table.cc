@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace painter::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument{"Table::AddRow: wrong cell count"};
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::Pct(double fraction, int precision) {
+  return Num(fraction * 100.0, precision) + "%";
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintSweep(std::ostream& os, const std::string& x_label,
+                const std::vector<double>& xs,
+                const std::vector<Series>& series, int precision) {
+  std::vector<std::string> headers{x_label};
+  for (const auto& s : series) {
+    headers.push_back(s.name);
+    if (s.ys.size() != xs.size()) {
+      throw std::invalid_argument{"PrintSweep: series length mismatch"};
+    }
+  }
+  Table t{headers};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> row{Table::Num(xs[i], precision)};
+    for (const auto& s : series) row.push_back(Table::Num(s.ys[i], precision));
+    t.AddRow(std::move(row));
+  }
+  t.Print(os);
+}
+
+void PrintFigureHeader(std::ostream& os, const std::string& figure,
+                       const std::string& caption) {
+  os << "\n=== " << figure << " ===\n" << caption << "\n\n";
+}
+
+}  // namespace painter::util

@@ -1,0 +1,47 @@
+// ASCII table / data-series printing for benchmark harnesses.
+//
+// Every bench binary regenerates a paper figure as text: a table of rows
+// (figures with discrete buckets) or an (x, series...) sweep (line plots).
+// This keeps the output format uniform so EXPERIMENTS.md can quote it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace painter::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string Num(double v, int precision = 2);
+  [[nodiscard]] static std::string Pct(double fraction, int precision = 1);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// A named line in a line-plot style figure.
+struct Series {
+  std::string name;
+  std::vector<double> ys;
+};
+
+// Prints "x  series1  series2 ..." rows for a figure with a shared x axis.
+void PrintSweep(std::ostream& os, const std::string& x_label,
+                const std::vector<double>& xs,
+                const std::vector<Series>& series, int precision = 2);
+
+// Prints a figure banner so bench output is self-describing.
+void PrintFigureHeader(std::ostream& os, const std::string& figure,
+                       const std::string& caption);
+
+}  // namespace painter::util

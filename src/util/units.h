@@ -1,0 +1,87 @@
+// Physical units used throughout the simulation.
+//
+// Latencies are milliseconds, distances kilometers, traffic volumes bytes.
+// Thin wrappers keep the axes from being mixed up in arithmetic-heavy code
+// (benefit calculations multiply weights by latencies by probabilities) while
+// still converting cheaply to double for math.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace painter::util {
+
+// Milliseconds of network latency. Negative values are meaningful as
+// improvements (deltas), so no invariant is enforced.
+class Millis {
+ public:
+  constexpr Millis() = default;
+  constexpr explicit Millis(double ms) : ms_(ms) {}
+
+  [[nodiscard]] constexpr double count() const { return ms_; }
+
+  friend constexpr Millis operator+(Millis a, Millis b) {
+    return Millis{a.ms_ + b.ms_};
+  }
+  friend constexpr Millis operator-(Millis a, Millis b) {
+    return Millis{a.ms_ - b.ms_};
+  }
+  friend constexpr Millis operator*(Millis a, double k) {
+    return Millis{a.ms_ * k};
+  }
+  friend constexpr Millis operator*(double k, Millis a) { return a * k; }
+  friend constexpr Millis operator/(Millis a, double k) {
+    return Millis{a.ms_ / k};
+  }
+  constexpr Millis& operator+=(Millis o) {
+    ms_ += o.ms_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Millis, Millis) = default;
+  friend std::ostream& operator<<(std::ostream& os, Millis m) {
+    return os << m.ms_ << " ms";
+  }
+
+ private:
+  double ms_ = 0.0;
+};
+
+// Kilometers of geographic distance.
+class Km {
+ public:
+  constexpr Km() = default;
+  constexpr explicit Km(double km) : km_(km) {}
+
+  [[nodiscard]] constexpr double count() const { return km_; }
+
+  friend constexpr Km operator+(Km a, Km b) { return Km{a.km_ + b.km_}; }
+  friend constexpr Km operator-(Km a, Km b) { return Km{a.km_ - b.km_}; }
+  friend constexpr Km operator*(Km a, double k) { return Km{a.km_ * k}; }
+  friend constexpr auto operator<=>(Km, Km) = default;
+  friend std::ostream& operator<<(std::ostream& os, Km k) {
+    return os << k.km_ << " km";
+  }
+
+ private:
+  double km_ = 0.0;
+};
+
+// Bytes of traffic volume (weights in Eq. 1 are traffic volumes).
+using Bytes = std::uint64_t;
+
+// Speed of light in fiber is roughly 2/3 c; the paper's geolocation checks use
+// speed-of-light-in-fiber constraints (Appendix B). One-way propagation.
+inline constexpr double kFiberKmPerMs = 200.0;
+
+// One-way propagation delay over a great-circle fiber run of `d`.
+[[nodiscard]] constexpr Millis FiberLatency(Km d) {
+  return Millis{d.count() / kFiberKmPerMs};
+}
+
+// Round-trip propagation delay over distance `d`.
+[[nodiscard]] constexpr Millis FiberRtt(Km d) {
+  return Millis{2.0 * d.count() / kFiberKmPerMs};
+}
+
+}  // namespace painter::util

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "bgpsim/dynamics.h"
+#include "bgpsim/engine.h"
+#include "topo/generator.h"
+
+namespace painter::bgpsim {
+namespace {
+
+using topo::AsGraph;
+using topo::AsTier;
+using util::AsId;
+using util::MetroId;
+
+// A hand-built diamond topology:
+//
+//        t1a ---peer--- t1b          (tier-1 mesh)
+//        /  \            |
+//      trA  trB         trC          (transits, customers of tier-1s)
+//       |     \         /
+//      stub    \       /
+//     (origin)  cloud--+             (cloud buys transit from trB, peers trC)
+class FixtureGraph {
+ public:
+  FixtureGraph() {
+    auto add = [&](AsTier tier, const char* name) {
+      return g.AddAs(tier, name, {MetroId{0}});
+    };
+    t1a = add(AsTier::kTier1, "t1a");
+    t1b = add(AsTier::kTier1, "t1b");
+    trA = add(AsTier::kTransit, "trA");
+    trB = add(AsTier::kTransit, "trB");
+    trC = add(AsTier::kTransit, "trC");
+    stub = add(AsTier::kStub, "stub");
+    cloud = add(AsTier::kCloud, "cloud");
+
+    g.AddPeerEdge(t1a, t1b);
+    g.AddProviderEdge(t1a, trA);
+    g.AddProviderEdge(t1a, trB);
+    g.AddProviderEdge(t1b, trC);
+    g.AddProviderEdge(trA, stub);
+    // Cloud: customer of trB (transit), peer of trC.
+    g.AddProviderEdge(trB, cloud);
+    g.AddPeerEdge(cloud, trC);
+  }
+
+  AsGraph g;
+  AsId t1a, t1b, trA, trB, trC, stub, cloud;
+};
+
+TEST(BgpPreference, CustomerBeatsShorterPeer) {
+  Route customer{.reachable = true,
+                 .learned_from = LearnedFrom::kCustomer,
+                 .path_length = 5,
+                 .next_hop = AsId{1}};
+  Route peer{.reachable = true,
+             .learned_from = LearnedFrom::kPeer,
+             .path_length = 1,
+             .next_hop = AsId{2}};
+  EXPECT_TRUE(Preferred(customer, peer));
+  EXPECT_FALSE(Preferred(peer, customer));
+}
+
+TEST(BgpPreference, ShorterPathWinsWithinClass) {
+  Route a{.reachable = true,
+          .learned_from = LearnedFrom::kPeer,
+          .path_length = 2,
+          .next_hop = AsId{9}};
+  Route b{.reachable = true,
+          .learned_from = LearnedFrom::kPeer,
+          .path_length = 3,
+          .next_hop = AsId{1}};
+  EXPECT_TRUE(Preferred(a, b));
+}
+
+TEST(BgpPreference, TieBreakLowestNextHop) {
+  Route a{.reachable = true,
+          .learned_from = LearnedFrom::kPeer,
+          .path_length = 2,
+          .next_hop = AsId{1}};
+  Route b{.reachable = true,
+          .learned_from = LearnedFrom::kPeer,
+          .path_length = 2,
+          .next_hop = AsId{2}};
+  EXPECT_TRUE(Preferred(a, b));
+}
+
+TEST(BgpPreference, UnreachableNeverPreferred) {
+  Route up{.reachable = true,
+           .learned_from = LearnedFrom::kProvider,
+           .path_length = 9,
+           .next_hop = AsId{1}};
+  Route down{};
+  EXPECT_TRUE(Preferred(up, down));
+  EXPECT_FALSE(Preferred(down, up));
+}
+
+TEST(BgpEngine, TransitAnnouncementReachesEveryone) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  // Announce only via trB (the cloud's transit provider).
+  const auto out = engine.Propagate(
+      Announcement{util::PrefixId{0}, f.cloud, {f.trB}});
+  for (AsId as : {f.t1a, f.t1b, f.trA, f.trB, f.trC, f.stub}) {
+    EXPECT_TRUE(out.Reachable(as)) << "AS " << as;
+    EXPECT_EQ(out.EntryAs(as), f.trB);
+  }
+}
+
+TEST(BgpEngine, PeerAnnouncementStaysInPeerConeAndPeers) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  // Announce only via trC (a settlement-free peer): trC will not export a
+  // peer route to its provider t1b, so the stub (under t1a/trA) cannot reach.
+  const auto out = engine.Propagate(
+      Announcement{util::PrefixId{0}, f.cloud, {f.trC}});
+  EXPECT_TRUE(out.Reachable(f.trC));
+  EXPECT_FALSE(out.Reachable(f.stub));
+  EXPECT_FALSE(out.Reachable(f.t1a));
+}
+
+TEST(BgpEngine, PathReconstructionEndsAtOrigin) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  const auto out = engine.Propagate(
+      Announcement{util::PrefixId{0}, f.cloud, {f.trB}});
+  const auto path = out.Path(f.stub);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back(), f.cloud);
+  // stub -> trA -> t1a -> trB -> cloud.
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], f.trA);
+  EXPECT_EQ(path[1], f.t1a);
+  EXPECT_EQ(path[2], f.trB);
+}
+
+TEST(BgpEngine, CustomerRoutePreferredOverPeerRoute) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  // trB hears the route as a customer route (cloud is its customer); trC as
+  // a peer route. t1a can reach via customer trB; t1b could reach via peer
+  // trC only if trC exported (it won't, peer->provider is invalid), so t1b
+  // goes through its peer t1a... but peer routes don't propagate from peers
+  // of peers. t1b must use t1a? t1a has a customer route and exports to its
+  // peer t1b.
+  const auto out = engine.Propagate(
+      Announcement{util::PrefixId{0}, f.cloud, {f.trB, f.trC}});
+  EXPECT_TRUE(out.Reachable(f.t1a));
+  EXPECT_EQ(out.RouteAt(f.t1a).learned_from, LearnedFrom::kCustomer);
+  EXPECT_EQ(out.EntryAs(f.t1a), f.trB);
+  EXPECT_TRUE(out.Reachable(f.t1b));
+  EXPECT_EQ(out.RouteAt(f.t1b).learned_from, LearnedFrom::kPeer);
+}
+
+TEST(BgpEngine, ValleyFreeNoPeerProviderLeak) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  const auto out = engine.Propagate(
+      Announcement{util::PrefixId{0}, f.cloud, {f.trC}});
+  // trC's providers must not learn the peer route.
+  EXPECT_FALSE(out.Reachable(f.t1b));
+}
+
+TEST(BgpEngine, AnnouncementToNonNeighborThrows) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  EXPECT_THROW(
+      (void)engine.Propagate(Announcement{util::PrefixId{0}, f.cloud, {f.t1a}}),
+      std::invalid_argument);
+}
+
+TEST(BgpEngine, EmptyAnnouncementReachesNobody) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  const auto out =
+      engine.Propagate(Announcement{util::PrefixId{0}, f.cloud, {}});
+  for (AsId as : {f.t1a, f.t1b, f.trA, f.trB, f.trC, f.stub}) {
+    EXPECT_FALSE(out.Reachable(as));
+  }
+}
+
+TEST(BgpEngine, DirectNeighborEntryAsIsItself) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  const auto out = engine.Propagate(
+      Announcement{util::PrefixId{0}, f.cloud, {f.trB}});
+  EXPECT_EQ(out.EntryAs(f.trB), f.trB);
+  EXPECT_EQ(out.Path(f.trB).size(), 1u);
+}
+
+TEST(BgpEngine, GeneratedInternetAnycastMostlyReachable) {
+  topo::InternetConfig cfg;
+  cfg.seed = 3;
+  cfg.tier1_count = 4;
+  cfg.transit_count = 12;
+  cfg.regional_count = 24;
+  cfg.stub_count = 200;
+  auto net = topo::GenerateInternet(cfg);
+  // Attach a cloud: customer of two tier-1s.
+  const auto tier1s = net.graph.AsesOfTier(AsTier::kTier1);
+  const AsId cloud = net.graph.AddAs(AsTier::kCloud, "cloud", {MetroId{0}});
+  net.graph.AddProviderEdge(tier1s[0], cloud);
+  net.graph.AddProviderEdge(tier1s[1], cloud);
+
+  BgpEngine engine{net.graph};
+  const auto out = engine.Propagate(
+      Announcement{util::PrefixId{0}, cloud, {tier1s[0], tier1s[1]}});
+  std::size_t reachable = 0;
+  const auto stubs = net.graph.AsesOfTier(AsTier::kStub);
+  for (AsId s : stubs) {
+    if (out.Reachable(s)) ++reachable;
+  }
+  EXPECT_EQ(reachable, stubs.size());  // transit announcements reach all
+}
+
+TEST(BgpDynamics, WithdrawalProducesChurnAndRecovery) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  const Announcement before{util::PrefixId{0}, f.cloud, {f.trB, f.trC}};
+  const Announcement after{util::PrefixId{0}, f.cloud, {f.trC}};
+  util::Rng rng{1};
+  const auto trace = SimulateWithdrawal(engine, before, after, f.trC,
+                                        ConvergenceParams{}, rng);
+  // Everyone whose path went through trB must re-converge -> updates exist.
+  EXPECT_FALSE(trace.events.empty());
+  EXPECT_GT(trace.converged_seconds, 0.0);
+  // Events sorted by time.
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].time_seconds, trace.events[i].time_seconds);
+  }
+}
+
+TEST(BgpDynamics, ObserverWithSurvivingRouteHasNoGap) {
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  const Announcement before{util::PrefixId{0}, f.cloud, {f.trB, f.trC}};
+  const Announcement after{util::PrefixId{0}, f.cloud, {f.trB}};
+  util::Rng rng{1};
+  // trA's route goes via trB which survives; withdrawal of trC is invisible.
+  const auto trace = SimulateWithdrawal(engine, before, after, f.trA,
+                                        ConvergenceParams{}, rng);
+  EXPECT_DOUBLE_EQ(trace.reachable_again_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace painter::bgpsim

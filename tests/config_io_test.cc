@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_io.h"
+#include "core/orchestrator.h"
+#include "tests/world_fixture.h"
+
+namespace painter::core {
+namespace {
+
+AdvertisementConfig Sample() {
+  AdvertisementConfig cfg;
+  cfg.AddPrefix({util::PeeringId{3}, util::PeeringId{17}, util::PeeringId{42}});
+  cfg.AddPrefix({util::PeeringId{5}});
+  return cfg;
+}
+
+TEST(ConfigIo, RoundTrip) {
+  const auto original = Sample();
+  const auto parsed = ConfigFromString(ConfigToString(original));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->PrefixCount(), original.PrefixCount());
+  for (std::size_t p = 0; p < original.PrefixCount(); ++p) {
+    EXPECT_EQ(parsed->Sessions(p), original.Sessions(p));
+  }
+}
+
+TEST(ConfigIo, WritesStableFormat) {
+  const std::string text = ConfigToString(Sample());
+  EXPECT_EQ(text,
+            "# painter-advertisement-config v1\n"
+            "prefix 0: 3 17 42\n"
+            "prefix 1: 5\n");
+}
+
+TEST(ConfigIo, EmptyConfigRoundTrips) {
+  const auto parsed = ConfigFromString(ConfigToString(AdvertisementConfig{}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->PrefixCount(), 0u);
+}
+
+TEST(ConfigIo, RejectsMissingHeader) {
+  ParseError err;
+  EXPECT_FALSE(ConfigFromString("prefix 0: 1\n", nullptr, &err).has_value());
+  EXPECT_EQ(err.line, 1u);
+}
+
+TEST(ConfigIo, RejectsOutOfOrderPrefixes) {
+  ParseError err;
+  const std::string text =
+      "# painter-advertisement-config v1\nprefix 1: 3\n";
+  EXPECT_FALSE(ConfigFromString(text, nullptr, &err).has_value());
+  EXPECT_EQ(err.line, 2u);
+}
+
+TEST(ConfigIo, RejectsMalformedSessionId) {
+  ParseError err;
+  const std::string text =
+      "# painter-advertisement-config v1\nprefix 0: 3 x\n";
+  EXPECT_FALSE(ConfigFromString(text, nullptr, &err).has_value());
+  EXPECT_NE(err.message.find("malformed"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsEmptyPrefix) {
+  ParseError err;
+  const std::string text = "# painter-advertisement-config v1\nprefix 0:\n";
+  EXPECT_FALSE(ConfigFromString(text, nullptr, &err).has_value());
+}
+
+TEST(ConfigIo, SkipsCommentsAndBlankLines) {
+  const std::string text =
+      "# painter-advertisement-config v1\n"
+      "# produced by the orchestrator\n"
+      "\n"
+      "prefix 0: 7\n";
+  const auto parsed = ConfigFromString(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->PrefixCount(), 1u);
+}
+
+TEST(ConfigIo, ValidatesAgainstDeployment) {
+  const auto w = test::MakeWorld();
+  AdvertisementConfig cfg;
+  cfg.AddPrefix({w.deployment->peerings().front().id});
+  const auto ok = ConfigFromString(ConfigToString(cfg), w.deployment.get());
+  EXPECT_TRUE(ok.has_value());
+
+  AdvertisementConfig bad;
+  bad.AddPrefix({util::PeeringId{10'000'000}});
+  ParseError err;
+  EXPECT_FALSE(ConfigFromString(ConfigToString(bad), w.deployment.get(), &err)
+                   .has_value());
+  EXPECT_NE(err.message.find("not in the deployment"), std::string::npos);
+}
+
+TEST(ConfigIo, OrchestratorOutputRoundTripsAgainstDeployment) {
+  const auto w = test::MakeWorld();
+  const auto inst = test::MakeInstance(w);
+  OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 4;
+  Orchestrator orch{inst, ocfg};
+  const auto cfg = orch.ComputeConfig();
+  const auto parsed =
+      ConfigFromString(ConfigToString(cfg), w.deployment.get());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AnnouncementCount(), cfg.AnnouncementCount());
+}
+
+}  // namespace
+}  // namespace painter::core

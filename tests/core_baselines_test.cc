@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/baselines.h"
+#include "core/evaluate.h"
+#include "core/orchestrator.h"
+#include "tests/world_fixture.h"
+
+namespace painter::core {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = test::MakeWorld();
+    inst_ = test::MakeInstance(w_);
+  }
+  test::World w_;
+  ProblemInstance inst_;
+};
+
+TEST_F(BaselinesTest, AnycastCoversAllSessions) {
+  const auto cfg = AnycastConfig(*w_.deployment);
+  ASSERT_EQ(cfg.PrefixCount(), 1u);
+  EXPECT_EQ(cfg.Sessions(0).size(), w_.deployment->peerings().size());
+}
+
+TEST_F(BaselinesTest, OnePerPopUsesOnePrefixPerPop) {
+  const auto cfg = OnePerPop(*w_.deployment, inst_, 4);
+  EXPECT_LE(cfg.PrefixCount(), 4u);
+  for (std::size_t p = 0; p < cfg.PrefixCount(); ++p) {
+    std::set<std::uint32_t> pops;
+    for (const auto sid : cfg.Sessions(p)) {
+      pops.insert(w_.deployment->peering(sid).pop.value());
+    }
+    EXPECT_EQ(pops.size(), 1u);
+  }
+}
+
+TEST_F(BaselinesTest, OnePerPopDistinctPops) {
+  const auto cfg = OnePerPop(*w_.deployment, inst_, 100);
+  std::set<std::uint32_t> pops;
+  for (std::size_t p = 0; p < cfg.PrefixCount(); ++p) {
+    pops.insert(
+        w_.deployment->peering(cfg.Sessions(p).front()).pop.value());
+  }
+  EXPECT_EQ(pops.size(), cfg.PrefixCount());
+}
+
+TEST_F(BaselinesTest, OnePerPopWithReuseRespectsDistance) {
+  const double d_reuse = 3000.0;
+  const auto cfg = OnePerPopWithReuse(w_.internet(), *w_.deployment, inst_, 3,
+                                      d_reuse);
+  EXPECT_LE(cfg.PrefixCount(), 3u);
+  const auto& metros = w_.internet().metros;
+  for (std::size_t p = 0; p < cfg.PrefixCount(); ++p) {
+    std::set<std::uint32_t> pops;
+    for (const auto sid : cfg.Sessions(p)) {
+      pops.insert(w_.deployment->peering(sid).pop.value());
+    }
+    // All pairwise PoP distances within a prefix >= d_reuse.
+    for (auto a : pops) {
+      for (auto b : pops) {
+        if (a >= b) continue;
+        const auto& la =
+            metros[w_.deployment->pop(util::PopId{a}).metro.value()].location;
+        const auto& lb =
+            metros[w_.deployment->pop(util::PopId{b}).metro.value()].location;
+        EXPECT_GE(topo::Distance(la, lb).count(), d_reuse);
+      }
+    }
+  }
+}
+
+TEST_F(BaselinesTest, OnePerPopWithReusePacksMorePops) {
+  const auto plain = OnePerPop(*w_.deployment, inst_, 3);
+  const auto reuse = OnePerPopWithReuse(w_.internet(), *w_.deployment, inst_, 3,
+                                        3000.0);
+  auto pops_covered = [&](const AdvertisementConfig& cfg) {
+    std::set<std::uint32_t> pops;
+    for (std::size_t p = 0; p < cfg.PrefixCount(); ++p) {
+      for (const auto sid : cfg.Sessions(p)) {
+        pops.insert(w_.deployment->peering(sid).pop.value());
+      }
+    }
+    return pops.size();
+  };
+  EXPECT_GE(pops_covered(reuse), pops_covered(plain));
+}
+
+TEST_F(BaselinesTest, OnePerPeeringSingletons) {
+  const auto cfg = OnePerPeering(*w_.deployment, inst_, 10);
+  EXPECT_LE(cfg.PrefixCount(), 10u);
+  std::set<std::uint32_t> seen;
+  for (std::size_t p = 0; p < cfg.PrefixCount(); ++p) {
+    ASSERT_EQ(cfg.Sessions(p).size(), 1u);
+    EXPECT_TRUE(seen.insert(cfg.Sessions(p).front().value()).second);
+  }
+}
+
+TEST_F(BaselinesTest, OnePerPeeringFullBudgetGetsAllBenefit) {
+  const auto cfg =
+      OnePerPeering(*w_.deployment, inst_, w_.deployment->peerings().size());
+  RoutingModel model{inst_.UgCount()};
+  const auto pred = PredictBenefit(inst_, model, cfg, {});
+  EXPECT_NEAR(pred.mean_ms, inst_.TotalPossibleBenefitMs(),
+              inst_.TotalPossibleBenefitMs() * 1e-6 + 1e-9);
+  // No uncertainty: lower == upper.
+  EXPECT_NEAR(pred.lower_ms, pred.upper_ms, 1e-9);
+}
+
+TEST_F(BaselinesTest, RegionalTransitOnlyTransitSessions) {
+  const auto cfg = RegionalTransit(w_.internet(), *w_.deployment, 3);
+  for (std::size_t p = 0; p < cfg.PrefixCount(); ++p) {
+    for (const auto sid : cfg.Sessions(p)) {
+      EXPECT_TRUE(w_.deployment->peering(sid).transit);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, PainterBeatsBaselinesAtSameBudget) {
+  // The paper's headline (Fig. 6a): PAINTER attains more modeled benefit per
+  // prefix than every baseline.
+  constexpr std::size_t kBudget = 4;
+  OrchestratorConfig ocfg;
+  ocfg.prefix_budget = kBudget;
+  Orchestrator orch{inst_, ocfg};
+  const RoutingModel empty{inst_.UgCount()};
+  const ExpectationParams params;
+
+  const double painter =
+      PredictBenefit(inst_, empty, orch.ComputeConfig(), params).estimated_ms;
+  const double opp =
+      PredictBenefit(inst_, empty, OnePerPop(*w_.deployment, inst_, kBudget),
+                     params)
+          .estimated_ms;
+  const double oppr = PredictBenefit(inst_, empty,
+                                     OnePerPopWithReuse(w_.internet(),
+                                                        *w_.deployment, inst_,
+                                                        kBudget, 3000.0),
+                                     params)
+                          .estimated_ms;
+  const double opg =
+      PredictBenefit(inst_, empty,
+                     OnePerPeering(*w_.deployment, inst_, kBudget), params)
+          .estimated_ms;
+  EXPECT_GE(painter, opp - 1e-9);
+  EXPECT_GE(painter, oppr - 1e-9);
+  EXPECT_GE(painter, opg - 1e-9);
+}
+
+TEST_F(BaselinesTest, TruncateKeepsPrefixOrder) {
+  const auto cfg = OnePerPeering(*w_.deployment, inst_, 5);
+  const auto cut = Truncate(cfg, 2);
+  ASSERT_LE(cut.PrefixCount(), 2u);
+  for (std::size_t p = 0; p < cut.PrefixCount(); ++p) {
+    EXPECT_EQ(cut.Sessions(p), cfg.Sessions(p));
+  }
+}
+
+}  // namespace
+}  // namespace painter::core

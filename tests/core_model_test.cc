@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/problem.h"
+#include "core/routing_model.h"
+#include "tests/world_fixture.h"
+
+namespace painter::core {
+namespace {
+
+// Builds a tiny hand-rolled instance: 2 UGs, 4 sessions.
+//   UG0: sessions {0:20ms @100km, 1:50ms @5000km, 2:30ms @800km}, anycast 40.
+//   UG1: sessions {1:25ms @300km, 3:60ms @9000km}, anycast 35.
+ProblemInstance TinyInstance() {
+  ProblemInstance inst;
+  inst.ug_weight = {2.0, 1.0};
+  inst.anycast_rtt_ms = {40.0, 35.0};
+  inst.options = {
+      {{util::PeeringId{0}, 20.0, 100.0},
+       {util::PeeringId{1}, 50.0, 5000.0},
+       {util::PeeringId{2}, 30.0, 800.0}},
+      {{util::PeeringId{1}, 25.0, 300.0},
+       {util::PeeringId{3}, 60.0, 9000.0}},
+  };
+  inst.peering_count = 4;
+  inst.ugs_with_peering = {{0}, {0, 1}, {0}, {1}};
+  inst.total_weight = 3.0;
+  return inst;
+}
+
+TEST(ProblemInstance, OptionLookup) {
+  const auto inst = TinyInstance();
+  ASSERT_NE(inst.Option(0, util::PeeringId{2}), nullptr);
+  EXPECT_DOUBLE_EQ(inst.Option(0, util::PeeringId{2})->rtt_ms, 30.0);
+  EXPECT_EQ(inst.Option(0, util::PeeringId{3}), nullptr);
+}
+
+TEST(ProblemInstance, TotalPossibleBenefit) {
+  const auto inst = TinyInstance();
+  // UG0 best 20 (saves 20, weight 2), UG1 best 25 (saves 10, weight 1).
+  EXPECT_NEAR(inst.TotalPossibleBenefitMs(), (2 * 20 + 1 * 10) / 3.0, 1e-9);
+}
+
+TEST(Expectation, SingleCandidateExact) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  const util::PeeringId ad[] = {util::PeeringId{0}};
+  const auto e = ComputeExpectation(inst, model, 0, ad, {});
+  ASSERT_TRUE(e.usable);
+  EXPECT_EQ(e.candidate_count, 1u);
+  EXPECT_DOUBLE_EQ(e.mean_rtt, 20.0);
+  EXPECT_DOUBLE_EQ(e.lower_rtt, 20.0);
+  EXPECT_DOUBLE_EQ(e.upper_rtt, 20.0);
+  EXPECT_DOUBLE_EQ(e.estimated_rtt, 20.0);
+}
+
+TEST(Expectation, NonCompliantPrefixUnusable) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  const util::PeeringId ad[] = {util::PeeringId{3}};
+  EXPECT_FALSE(ComputeExpectation(inst, model, 0, ad, {}).usable);
+}
+
+TEST(Expectation, MeanOverCandidates) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  const util::PeeringId ad[] = {util::PeeringId{0}, util::PeeringId{2}};
+  const auto e = ComputeExpectation(inst, model, 0, ad,
+                                    ExpectationParams{.d_reuse_km = 10000});
+  ASSERT_TRUE(e.usable);
+  EXPECT_EQ(e.candidate_count, 2u);
+  EXPECT_DOUBLE_EQ(e.mean_rtt, 25.0);
+  EXPECT_DOUBLE_EQ(e.lower_rtt, 20.0);
+  EXPECT_DOUBLE_EQ(e.upper_rtt, 30.0);
+  // Estimated is inflation-weighted toward the nearer candidate.
+  EXPECT_LT(e.estimated_rtt, e.mean_rtt);
+}
+
+TEST(Expectation, DreuseExcludesFarCandidates) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  // Sessions 0 (100 km) and 1 (5000 km): with D_reuse = 3000, the far one
+  // is assumed unused; expectation collapses to session 0.
+  const util::PeeringId ad[] = {util::PeeringId{0}, util::PeeringId{1}};
+  const auto e = ComputeExpectation(inst, model, 0, ad,
+                                    ExpectationParams{.d_reuse_km = 3000});
+  ASSERT_TRUE(e.usable);
+  EXPECT_EQ(e.candidate_count, 1u);
+  EXPECT_DOUBLE_EQ(e.mean_rtt, 20.0);
+}
+
+TEST(Expectation, DreuseKeepsCandidatesWithinThreshold) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  const util::PeeringId ad[] = {util::PeeringId{0}, util::PeeringId{2}};
+  const auto e = ComputeExpectation(inst, model, 0, ad,
+                                    ExpectationParams{.d_reuse_km = 3000});
+  EXPECT_EQ(e.candidate_count, 2u);  // 800 - 100 = 700 < 3000
+}
+
+TEST(RoutingModelTest, PreferenceExcludesDominated) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  const util::PeeringId cands[] = {util::PeeringId{0}, util::PeeringId{2}};
+  // Observed: UG0 entered via session 2 when 0 and 2 were both advertised —
+  // so 0 is dominated whenever 2 is active.
+  model.ObservePreference(0, util::PeeringId{2}, cands);
+  const auto e = ComputeExpectation(inst, model, 0, cands,
+                                    ExpectationParams{.d_reuse_km = 10000});
+  ASSERT_TRUE(e.usable);
+  EXPECT_EQ(e.candidate_count, 1u);
+  EXPECT_DOUBLE_EQ(e.mean_rtt, 30.0);  // only session 2 remains
+}
+
+TEST(RoutingModelTest, DominationOnlyWhenWinnerActive) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  const util::PeeringId cands[] = {util::PeeringId{0}, util::PeeringId{2}};
+  model.ObservePreference(0, util::PeeringId{2}, cands);
+  // Advertise only session 0: session 2 is absent, so no domination applies.
+  const util::PeeringId ad[] = {util::PeeringId{0}};
+  const auto e = ComputeExpectation(inst, model, 0, ad, {});
+  ASSERT_TRUE(e.usable);
+  EXPECT_DOUBLE_EQ(e.mean_rtt, 20.0);
+}
+
+TEST(RoutingModelTest, NewObservationRetractsOpposite) {
+  RoutingModel model{1};
+  const util::PeeringId cands[] = {util::PeeringId{0}, util::PeeringId{1}};
+  model.ObservePreference(0, util::PeeringId{0}, cands);
+  EXPECT_TRUE(model.IsDominated(0, util::PeeringId{1}, cands));
+  // Routing changed: now 1 is observed chosen.
+  model.ObservePreference(0, util::PeeringId{1}, cands);
+  EXPECT_TRUE(model.IsDominated(0, util::PeeringId{0}, cands));
+  EXPECT_FALSE(model.IsDominated(0, util::PeeringId{1}, cands));
+}
+
+TEST(RoutingModelTest, MeasuredLatencyOverridesEstimate) {
+  const auto inst = TinyInstance();
+  RoutingModel model{2};
+  model.ObserveLatency(0, util::PeeringId{0}, 15.0);
+  const util::PeeringId ad[] = {util::PeeringId{0}};
+  const auto e = ComputeExpectation(inst, model, 0, ad, {});
+  EXPECT_DOUBLE_EQ(e.mean_rtt, 15.0);
+}
+
+TEST(RoutingModelTest, PreferenceCountTracksPairs) {
+  RoutingModel model{2};
+  EXPECT_EQ(model.PreferenceCount(), 0u);
+  const util::PeeringId cands[] = {util::PeeringId{0}, util::PeeringId{1},
+                                   util::PeeringId{2}};
+  model.ObservePreference(1, util::PeeringId{0}, cands);
+  EXPECT_EQ(model.PreferenceCount(), 2u);
+}
+
+TEST(BuildInstance, MeasuredInstanceConsistentWithWorld) {
+  const auto w = test::MakeWorld();
+  const auto inst = test::MakeInstance(w);
+  EXPECT_EQ(inst.UgCount(), w.deployment->ugs().size());
+  EXPECT_EQ(inst.peering_count, w.deployment->peerings().size());
+  EXPECT_GT(inst.total_weight, 0.0);
+  // Options are exactly the compliant sets.
+  for (const auto& ug : w.deployment->ugs()) {
+    EXPECT_EQ(inst.options[ug.id.value()].size(),
+              w.catalog->CompliantPeerings(ug.id).size());
+  }
+  // Measured RTTs are bounded below by the oracle's truth.
+  for (const auto& opt : inst.options[0]) {
+    EXPECT_GE(opt.rtt_ms,
+              w.oracle->TrueRtt(util::UgId{0}, opt.peering).count());
+  }
+}
+
+TEST(BuildInstance, InvertedIndexMatchesOptions) {
+  const auto w = test::MakeWorld();
+  const auto inst = test::MakeInstance(w);
+  for (std::uint32_t g = 0; g < inst.peering_count; ++g) {
+    for (std::uint32_t u : inst.ugs_with_peering[g]) {
+      EXPECT_NE(inst.Option(u, util::PeeringId{g}), nullptr);
+    }
+  }
+}
+
+TEST(BuildInstance, EstimatedInstanceCoversSubset) {
+  const auto w = test::MakeWorld();
+  const measure::GeoTargetCatalog targets{*w.oracle, {}};
+  util::Rng rng{77};
+  const auto est = core::BuildEstimatedInstance(
+      w.internet(), *w.deployment, *w.catalog, *w.resolver, *w.oracle, targets,
+      rng, 450.0);
+  const auto full = test::MakeInstance(w);
+  for (std::uint32_t u = 0; u < est.UgCount(); ++u) {
+    EXPECT_LE(est.options[u].size(), full.options[u].size());
+  }
+}
+
+}  // namespace
+}  // namespace painter::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/resilience.h"
+#include "tests/world_fixture.h"
+
+namespace painter::core {
+namespace {
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = test::MakeWorld();
+    analyzer_ = std::make_unique<ResilienceAnalyzer>(w_.internet(),
+                                                     *w_.deployment,
+                                                     *w_.catalog);
+    results_ = analyzer_->AnalyzeAll();
+  }
+  test::World w_;
+  std::unique_ptr<ResilienceAnalyzer> analyzer_;
+  std::vector<UgResilience> results_;
+};
+
+TEST_F(ResilienceTest, OneResultPerUg) {
+  EXPECT_EQ(results_.size(), w_.deployment->ugs().size());
+}
+
+TEST_F(ResilienceTest, SdwanPathsMatchProviderCount) {
+  const auto& g = w_.internet().graph;
+  for (const auto& ug : w_.deployment->ugs()) {
+    const auto& r = results_[ug.id.value()];
+    const std::size_t direct =
+        w_.deployment->PeeringsOfAs(ug.as).empty() ? 0 : 1;
+    // Every provider is reachable under anycast in this world, so paths =
+    // providers + direct.
+    EXPECT_LE(r.sdwan_paths, g.providers(ug.as).size() + direct);
+    EXPECT_GE(r.sdwan_paths, 1u);
+  }
+}
+
+TEST_F(ResilienceTest, PainterLowerBoundAtMostUpperBound) {
+  for (const auto& r : results_) {
+    EXPECT_LE(r.painter_paths_lb, r.painter_paths_ub);
+  }
+}
+
+TEST_F(ResilienceTest, PainterExposesMorePathsForMostUgs) {
+  // Fig. 11a: PAINTER - SD-WAN path difference is positive for most UGs.
+  std::size_t more = 0;
+  for (const auto& r : results_) {
+    if (r.painter_paths_lb > r.sdwan_paths) ++more;
+  }
+  EXPECT_GT(more, results_.size() / 2);
+}
+
+TEST_F(ResilienceTest, AvoidFractionsInRange) {
+  for (const auto& r : results_) {
+    EXPECT_GE(r.sdwan_avoid_frac, 0.0);
+    EXPECT_LE(r.sdwan_avoid_frac, 1.0);
+    EXPECT_GE(r.painter_avoid_frac, 0.0);
+    EXPECT_LE(r.painter_avoid_frac, 1.0);
+  }
+}
+
+TEST_F(ResilienceTest, PainterAvoidsAtLeastAsManyAsesOnAverage) {
+  // Fig. 11b: PAINTER's avoidance CDF dominates SD-WAN's.
+  double painter_sum = 0.0;
+  double sdwan_sum = 0.0;
+  for (const auto& r : results_) {
+    painter_sum += r.painter_avoid_frac;
+    sdwan_sum += r.sdwan_avoid_frac;
+  }
+  EXPECT_GE(painter_sum, sdwan_sum - 1e-9);
+}
+
+TEST_F(ResilienceTest, DirectlyConnectedUgAvoidsAllViaSdwan) {
+  for (const auto& ug : w_.deployment->ugs()) {
+    if (!w_.deployment->PeeringsOfAs(ug.as).empty()) {
+      EXPECT_DOUBLE_EQ(results_[ug.id.value()].sdwan_avoid_frac, 1.0);
+    }
+  }
+}
+
+TEST_F(ResilienceTest, PainterPopsPositive) {
+  std::size_t with_pops = 0;
+  for (const auto& r : results_) {
+    if (r.painter_pops > 0) ++with_pops;
+  }
+  EXPECT_GT(with_pops, results_.size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace painter::core

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/orchestrator.h"
+#include "dnssim/granularity.h"
+#include "dnssim/resolvers.h"
+#include "dnssim/ttl_study.h"
+#include "tests/world_fixture.h"
+
+namespace painter::dnssim {
+namespace {
+
+TEST(Resolvers, EveryUgAssigned) {
+  const auto w = test::MakeWorld();
+  const auto assignment = AssignResolvers(*w.deployment, {});
+  ASSERT_EQ(assignment.resolver_of_ug.size(), w.deployment->ugs().size());
+  for (const auto r : assignment.resolver_of_ug) {
+    EXPECT_LT(r, assignment.resolver_count);
+  }
+}
+
+TEST(Resolvers, EcsFlagsMatchConfig) {
+  const auto w = test::MakeWorld();
+  ResolverConfig cfg;
+  cfg.ecs_resolver_count = 2;
+  cfg.public_resolver_count = 5;
+  const auto assignment = AssignResolvers(*w.deployment, cfg);
+  std::size_t ecs = 0;
+  for (const bool b : assignment.resolver_supports_ecs) {
+    if (b) ++ecs;
+  }
+  EXPECT_EQ(ecs, 2u);
+}
+
+TEST(Resolvers, PublicResolversServeManyMetros) {
+  const auto w = test::MakeWorld(11, 400);
+  ResolverConfig cfg;
+  cfg.public_resolver_frac = 0.5;
+  const auto assignment = AssignResolvers(*w.deployment, cfg);
+  // Resolver 0 (public) should serve UGs in several metros.
+  std::set<std::uint32_t> metros;
+  for (const auto& ug : w.deployment->ugs()) {
+    if (assignment.resolver_of_ug[ug.id.value()] == 0) {
+      metros.insert(ug.metro.value());
+    }
+  }
+  EXPECT_GE(metros.size(), 3u);
+}
+
+TEST(Resolvers, LocalResolversServeOneMetro) {
+  const auto w = test::MakeWorld(11, 400);
+  const auto assignment = AssignResolvers(*w.deployment, {});
+  ResolverConfig cfg;
+  std::unordered_map<std::uint32_t, std::set<std::uint32_t>> metros_of;
+  for (const auto& ug : w.deployment->ugs()) {
+    const auto r = assignment.resolver_of_ug[ug.id.value()];
+    if (r >= cfg.public_resolver_count) {
+      metros_of[r].insert(ug.metro.value());
+    }
+  }
+  for (const auto& [r, metros] : metros_of) {
+    EXPECT_EQ(metros.size(), 1u) << "local resolver " << r;
+  }
+}
+
+TEST(TtlStudy, Fig3ShapeHolds) {
+  // Fig. 3: ~80% of Cloud A's bytes are sent >= 5 minutes after the record
+  // expired; Clouds B/C see >= ~20% of bytes a minute after expiry.
+  util::Rng rng{31};
+  const auto profiles = DefaultCloudProfiles();
+  const auto a = RunTtlStudy(profiles[0], 300, 3600.0, rng);
+  const auto b = RunTtlStudy(profiles[1], 300, 3600.0, rng);
+  const auto c = RunTtlStudy(profiles[2], 300, 3600.0, rng);
+
+  EXPECT_GT(FractionAtOrAfter(a, 300.0), 0.6);
+  EXPECT_GT(FractionAtOrAfter(b, 60.0), 0.1);
+  EXPECT_GT(FractionAtOrAfter(c, 60.0), 0.1);
+  // Cloud A is the most extreme.
+  EXPECT_GT(FractionAtOrAfter(a, 300.0), FractionAtOrAfter(b, 300.0));
+  EXPECT_GT(FractionAtOrAfter(a, 300.0), FractionAtOrAfter(c, 300.0));
+}
+
+TEST(TtlStudy, FractionsMonotoneInOffset) {
+  util::Rng rng{32};
+  const auto r = RunTtlStudy(DefaultCloudProfiles()[1], 100, 3600.0, rng);
+  double prev = 1.1;
+  for (const double x : {-60.0, -1.0, 0.0, 1.0, 60.0, 300.0, 3600.0}) {
+    const double f = FractionAtOrAfter(r, x);
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+}
+
+TEST(TtlStudy, StaleMechanismsBothPresent) {
+  util::Rng rng{33};
+  const auto r = RunTtlStudy(DefaultCloudProfiles()[0], 300, 3600.0, rng);
+  EXPECT_GT(r.live_past_expiry_bytes, 0.0);
+  EXPECT_GT(r.stale_new_flow_bytes, 0.0);
+  EXPECT_GT(r.total_bytes,
+            r.live_past_expiry_bytes + r.stale_new_flow_bytes * 0.5);
+}
+
+TEST(Granularity, BucketBoundaries) {
+  EXPECT_EQ(GranularityBucket(1e-5), 0u);
+  EXPECT_EQ(GranularityBucket(5e-4), 1u);
+  EXPECT_EQ(GranularityBucket(5e-3), 2u);
+  EXPECT_EQ(GranularityBucket(5e-2), 3u);
+  EXPECT_EQ(GranularityBucket(0.5), 4u);
+}
+
+class GranularityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = test::MakeWorld(13, 300);
+    assignment_ = AssignResolvers(*w_.deployment, {});
+    rows_ = AnalyzeGranularity(*w_.deployment, *w_.resolver, assignment_, {});
+  }
+  test::World w_;
+  ResolverAssignment assignment_;
+  std::vector<PopGranularity> rows_;
+};
+
+TEST_F(GranularityTest, FirstRowIsAggregate) {
+  ASSERT_FALSE(rows_.empty());
+  EXPECT_EQ(rows_.front().pop_name, "All");
+}
+
+TEST_F(GranularityTest, BucketsSumToOne) {
+  for (const auto& row : rows_) {
+    if (row.total_volume <= 0.0) continue;
+    auto sum = [](const auto& arr) {
+      double s = 0.0;
+      for (const double v : arr) s += v;
+      return s;
+    };
+    EXPECT_NEAR(sum(row.bgp), 1.0, 1e-6) << row.pop_name;
+    EXPECT_NEAR(sum(row.dns), 1.0, 1e-6) << row.pop_name;
+    EXPECT_NEAR(sum(row.painter), 1.0, 1e-6) << row.pop_name;
+  }
+}
+
+TEST_F(GranularityTest, PainterFinestControl) {
+  // PAINTER's per-flow knobs are overwhelmingly in the finest buckets; BGP's
+  // (peering, AS) knobs are the coarsest of the three on aggregate.
+  const auto& all = rows_.front();
+  const double painter_fine = all.painter[0] + all.painter[1];
+  const double bgp_fine = all.bgp[0] + all.bgp[1];
+  EXPECT_GT(painter_fine, bgp_fine);
+  const double bgp_coarse = all.bgp[3] + all.bgp[4];
+  const double painter_coarse = all.painter[3] + all.painter[4];
+  EXPECT_GT(bgp_coarse, painter_coarse);
+}
+
+TEST(DnsSteering, EcsMatchesPerFlowForSoleEcsPopulation) {
+  // If every UG sits behind an ECS resolver, DNS steering equals PAINTER's
+  // per-UG best (per-/24 == per-UG in our model).
+  const auto w = test::MakeWorld();
+  const auto inst = test::MakeInstance(w);
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 4;
+  core::Orchestrator orch{inst, ocfg};
+  const auto cfg = orch.ComputeConfig();
+
+  core::DnsSteeringInput dns;
+  dns.resolver_of_ug.assign(inst.UgCount(), 0);
+  dns.resolver_supports_ecs = {true};
+  const core::RoutingModel model{inst.UgCount()};
+  const double via_dns =
+      core::EvaluateDnsSteering(inst, model, cfg, {}, dns);
+  const double per_flow =
+      core::PredictBenefit(inst, model, cfg, {}).mean_ms;
+  EXPECT_NEAR(via_dns, per_flow, 1e-9);
+}
+
+TEST(DnsSteering, SharedResolverLosesBenefit) {
+  // One non-ECS resolver for everyone: a single prefix must serve all UGs,
+  // which cannot beat per-flow steering.
+  const auto w = test::MakeWorld();
+  const auto inst = test::MakeInstance(w);
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 4;
+  core::Orchestrator orch{inst, ocfg};
+  const auto cfg = orch.ComputeConfig();
+
+  core::DnsSteeringInput dns;
+  dns.resolver_of_ug.assign(inst.UgCount(), 0);
+  dns.resolver_supports_ecs = {false};
+  const core::RoutingModel model{inst.UgCount()};
+  const double via_dns = core::EvaluateDnsSteering(inst, model, cfg, {}, dns);
+  const double per_flow = core::PredictBenefit(inst, model, cfg, {}).mean_ms;
+  EXPECT_LE(via_dns, per_flow + 1e-9);
+}
+
+}  // namespace
+}  // namespace painter::dnssim

@@ -1,0 +1,128 @@
+// End-to-end integration: the full PAINTER loop on one world — measure,
+// optimize, advertise, learn, steer — validating the cross-module contracts
+// the figures rely on.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/evaluate.h"
+#include "core/orchestrator.h"
+#include "core/sim_environment.h"
+#include "dnssim/resolvers.h"
+#include "tests/world_fixture.h"
+#include "tm/control.h"
+
+namespace painter {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = test::MakeWorld(23, 250, 10);
+    inst_ = test::MakeInstance(w_);
+  }
+  test::World w_;
+  core::ProblemInstance inst_;
+};
+
+TEST_F(IntegrationTest, FullLearningLoopRealizesBenefit) {
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 8;
+  ocfg.max_learning_iterations = 4;
+  core::Orchestrator orch{inst_, ocfg};
+  core::SimEnvironment env{*w_.resolver, *w_.oracle, util::Rng{5}};
+  const auto reports = orch.Learn(env);
+  ASSERT_FALSE(reports.empty());
+
+  // Realized improvement is positive and within the possible bound.
+  core::GroundTruthEvaluator eval{*w_.deployment, *w_.resolver, *w_.oracle};
+  eval.SetConfig(reports.back().config);
+  const double realized = eval.MeanImprovementMs(0);
+  const double possible = eval.PossibleMeanImprovementMs(*w_.catalog, 0);
+  EXPECT_GT(realized, 0.0);
+  EXPECT_LE(realized, possible + 1e-6);
+  // A decent budget should capture a majority of the possible benefit.
+  EXPECT_GT(realized, 0.4 * possible);
+}
+
+TEST_F(IntegrationTest, PainterBeatsOnePerPopGroundTruth) {
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 5;
+  core::Orchestrator orch{inst_, ocfg};
+  core::SimEnvironment env{*w_.resolver, *w_.oracle, util::Rng{6}};
+  const auto reports = orch.Learn(env);
+
+  core::GroundTruthEvaluator eval{*w_.deployment, *w_.resolver, *w_.oracle};
+  eval.SetConfig(reports.back().config);
+  const double painter = eval.MeanImprovementMs(0);
+
+  eval.SetConfig(core::OnePerPop(*w_.deployment, inst_, 5));
+  const double opp = eval.MeanImprovementMs(0);
+  EXPECT_GE(painter, opp - 1e-6);
+}
+
+TEST_F(IntegrationTest, PersistenceDynamicBeatsStatic) {
+  // Fig. 7's mechanism: across drifting days, dynamic prefix choice holds
+  // benefit better than choices frozen at day 0.
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 6;
+  core::Orchestrator orch{inst_, ocfg};
+  const auto cfg = orch.ComputeConfig();
+
+  core::GroundTruthEvaluator eval{*w_.deployment, *w_.resolver, *w_.oracle};
+  eval.SetConfig(cfg);
+  const auto day0_choices = eval.Choices(0);
+  double dynamic_sum = 0.0;
+  double static_sum = 0.0;
+  for (int day = 5; day <= 25; day += 5) {
+    dynamic_sum += eval.MeanImprovementMs(day);
+    static_sum += eval.MeanImprovementStaticMs(day0_choices, day);
+  }
+  EXPECT_GE(dynamic_sum, static_sum - 1e-9);
+}
+
+TEST_F(IntegrationTest, DnsSteeringLosesBenefitOnRealResolvers) {
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 6;
+  core::Orchestrator orch{inst_, ocfg};
+  const auto cfg = orch.ComputeConfig();
+
+  const auto resolvers = dnssim::AssignResolvers(*w_.deployment, {});
+  core::DnsSteeringInput dns{resolvers.resolver_of_ug,
+                             resolvers.resolver_supports_ecs};
+  const core::RoutingModel model{inst_.UgCount()};
+  const double with_dns =
+      core::EvaluateDnsSteering(inst_, model, cfg, {}, dns);
+  const double per_flow = core::PredictBenefit(inst_, model, cfg, {}).mean_ms;
+  EXPECT_LE(with_dns, per_flow + 1e-9);
+  EXPECT_GT(per_flow, 0.0);
+}
+
+TEST_F(IntegrationTest, ControlChannelSeesOrchestratorConfig) {
+  core::OrchestratorConfig ocfg;
+  ocfg.prefix_budget = 4;
+  core::Orchestrator orch{inst_, ocfg};
+  const auto cfg = orch.ComputeConfig();
+
+  tm::PrefixDirectory dir{*w_.deployment};
+  dir.Install(cfg);
+  EXPECT_EQ(dir.PrefixCount(), cfg.PrefixCount());
+  const auto dests = dir.DestinationsFor(util::ServiceId{0});
+  EXPECT_EQ(dests.size(), cfg.PrefixCount());
+}
+
+TEST_F(IntegrationTest, DeterministicEndToEnd) {
+  auto run = [](std::uint64_t seed) {
+    auto w = test::MakeWorld(seed, 120, 6);
+    auto inst = test::MakeInstance(w, seed + 100);
+    core::OrchestratorConfig ocfg;
+    ocfg.prefix_budget = 4;
+    core::Orchestrator orch{inst, ocfg};
+    const auto cfg = orch.ComputeConfig();
+    return orch.Predict(cfg).mean_ms;
+  };
+  EXPECT_DOUBLE_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace painter

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "netsim/link.h"
+
+namespace painter::netsim {
+namespace {
+
+Packet DataPacket(std::uint32_t bytes) {
+  Packet p;
+  p.kind = PacketKind::kData;
+  p.payload_bytes = bytes;
+  return p;
+}
+
+TEST(QueuedLink, DeliversAfterPropagationPlusSerialization) {
+  Simulator sim;
+  QueuedLink link{sim, {.propagation_s = 0.010,
+                        .bandwidth_bytes_per_s = 1e6,
+                        .queue_limit_bytes = 100000}};
+  double arrived_at = -1.0;
+  ASSERT_TRUE(link.Send(DataPacket(1000),
+                        [&](const Packet&) { arrived_at = sim.Now(); }));
+  sim.Run(1.0);
+  // 1000 B at 1 MB/s = 1 ms serialization + 10 ms propagation.
+  EXPECT_NEAR(arrived_at, 0.011, 1e-9);
+}
+
+TEST(QueuedLink, BackToBackPacketsQueue) {
+  Simulator sim;
+  QueuedLink link{sim, {.propagation_s = 0.0,
+                        .bandwidth_bytes_per_s = 1e6,
+                        .queue_limit_bytes = 100000}};
+  std::vector<double> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(link.Send(DataPacket(1000),
+                          [&](const Packet&) { arrivals.push_back(sim.Now()); }));
+  }
+  sim.Run(1.0);
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.001, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.002, 1e-9);
+  EXPECT_NEAR(arrivals[2], 0.003, 1e-9);
+}
+
+TEST(QueuedLink, QueueingDelayTracksBacklog) {
+  Simulator sim;
+  QueuedLink link{sim, {.propagation_s = 0.0,
+                        .bandwidth_bytes_per_s = 1e6,
+                        .queue_limit_bytes = 1000000}};
+  EXPECT_DOUBLE_EQ(link.CurrentQueueingDelay(), 0.0);
+  ASSERT_TRUE(link.Send(DataPacket(10000), [](const Packet&) {}));
+  EXPECT_NEAR(link.CurrentQueueingDelay(), 0.010, 1e-9);
+  EXPECT_EQ(link.QueuedBytes(), 10000u);
+}
+
+TEST(QueuedLink, OverflowDrops) {
+  Simulator sim;
+  QueuedLink link{sim, {.propagation_s = 0.0,
+                        .bandwidth_bytes_per_s = 1e6,
+                        .queue_limit_bytes = 2500}};
+  EXPECT_TRUE(link.Send(DataPacket(1000), [](const Packet&) {}));
+  EXPECT_TRUE(link.Send(DataPacket(1000), [](const Packet&) {}));
+  // Third packet would exceed the 2500-byte queue bound.
+  EXPECT_FALSE(link.Send(DataPacket(1000), [](const Packet&) {}));
+  EXPECT_EQ(link.stats().dropped, 1u);
+  EXPECT_EQ(link.stats().delivered, 2u);
+}
+
+TEST(QueuedLink, DrainsAndAcceptsAgain) {
+  Simulator sim;
+  QueuedLink link{sim, {.propagation_s = 0.0,
+                        .bandwidth_bytes_per_s = 1e6,
+                        .queue_limit_bytes = 1500}};
+  EXPECT_TRUE(link.Send(DataPacket(1400), [](const Packet&) {}));
+  EXPECT_FALSE(link.Send(DataPacket(1400), [](const Packet&) {}));
+  sim.Run(0.01);  // queue drains in 1.4 ms
+  EXPECT_TRUE(link.Send(DataPacket(1400), [](const Packet&) {}));
+}
+
+TEST(QueuedLink, EncapOverheadCountsAgainstCapacity) {
+  Simulator sim;
+  QueuedLink link{sim, {.propagation_s = 0.0,
+                        .bandwidth_bytes_per_s = 1e6,
+                        .queue_limit_bytes = 1410}};
+  Packet p = DataPacket(1400);
+  p.outer = FlowKey{};  // +16 bytes of encapsulation
+  EXPECT_FALSE(link.Send(p, [](const Packet&) {}));  // 1416 > 1410
+  p.outer.reset();
+  EXPECT_TRUE(link.Send(p, [](const Packet&) {}));
+}
+
+TEST(QueuedLink, SustainedOverloadDropsProportionally) {
+  Simulator sim;
+  QueuedLink link{sim, {.propagation_s = 0.001,
+                        .bandwidth_bytes_per_s = 1e6,
+                        .queue_limit_bytes = 10000}};
+  // Offer 2x capacity for one second: 2000 packets of 1000 B.
+  std::size_t accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    sim.ScheduleAt(i * 0.0005, [&]() {
+      if (link.Send(DataPacket(1000), [](const Packet&) {})) ++accepted;
+    });
+  }
+  sim.Run(3.0);
+  // Capacity over the window is ~1000 packets (+ queue);
+  // roughly half must be dropped.
+  EXPECT_NEAR(static_cast<double>(accepted), 1000.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(link.stats().dropped), 1000.0, 60.0);
+}
+
+}  // namespace
+}  // namespace painter::netsim

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "netsim/nat.h"
+#include "netsim/packet.h"
+#include "netsim/path.h"
+#include "netsim/sim.h"
+
+namespace painter::netsim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Run(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.ExecutedEvents(), 3u);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(1.0, [&] { order.push_back(2); });
+  sim.Schedule(1.0, [&] { order.push_back(3); });
+  sim.Run(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunStopsAtDeadline) {
+  Simulator sim;
+  bool late = false;
+  sim.Schedule(5.0, [&] { late = true; });
+  sim.Run(4.0);
+  EXPECT_FALSE(late);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.0);
+  sim.Run(6.0);
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int hits = 0;
+  std::function<void()> tick = [&] {
+    ++hits;
+    if (hits < 5) sim.Schedule(1.0, tick);
+  };
+  sim.Schedule(0.0, tick);
+  sim.Run(100.0);
+  EXPECT_EQ(hits, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 100.0);
+}
+
+TEST(SimulatorTest, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.Schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, PastAbsoluteTimeThrows) {
+  Simulator sim;
+  sim.Schedule(5.0, [] {});
+  sim.Run(5.0);
+  EXPECT_THROW(sim.ScheduleAt(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(PacketTest, EncapOverheadCounted) {
+  Packet p;
+  p.payload_bytes = 1400;
+  EXPECT_EQ(p.WireBytes(), 1400u);
+  p.outer = FlowKey{};
+  EXPECT_EQ(p.WireBytes(), 1400u + Packet::kEncapOverheadBytes);
+}
+
+TEST(FlowKeyTest, HashAndEquality) {
+  FlowKey a{.src_ip = 1, .dst_ip = 2, .src_port = 3, .dst_port = 4};
+  FlowKey b = a;
+  EXPECT_EQ(a, b);
+  b.src_port = 5;
+  EXPECT_NE(a, b);
+  std::unordered_map<FlowKey, int> m;
+  m[a] = 1;
+  m[b] = 2;
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(NatTest, BindIsStablePerFlow) {
+  NatTable nat{{0xC0000201}};
+  FlowKey f{.src_ip = 10, .dst_ip = 20, .src_port = 1000, .dst_port = 443};
+  const auto b1 = nat.Bind(f);
+  const auto b2 = nat.Bind(f);
+  ASSERT_TRUE(b1.has_value());
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b1->nat_port, b2->nat_port);
+  EXPECT_EQ(nat.ActiveBindings(), 1u);
+}
+
+TEST(NatTest, LookupReturnsClientFlow) {
+  NatTable nat{{0xC0000201}};
+  FlowKey f{.src_ip = 10, .dst_ip = 20, .src_port = 1000, .dst_port = 443};
+  const auto b = nat.Bind(f);
+  ASSERT_TRUE(b.has_value());
+  const auto back = nat.Lookup(b->nat_ip, b->nat_port);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+}
+
+TEST(NatTest, DistinctFlowsDistinctPorts) {
+  NatTable nat{{0xC0000201}};
+  FlowKey f1{.src_ip = 10, .dst_ip = 20, .src_port = 1000, .dst_port = 443};
+  FlowKey f2{.src_ip = 10, .dst_ip = 20, .src_port = 1001, .dst_port = 443};
+  const auto b1 = nat.Bind(f1);
+  const auto b2 = nat.Bind(f2);
+  EXPECT_NE(std::make_pair(b1->nat_ip, b1->nat_port),
+            std::make_pair(b2->nat_ip, b2->nat_port));
+}
+
+TEST(NatTest, ReleaseFreesSlot) {
+  NatTable nat{{0xC0000201}};
+  FlowKey f{.src_ip = 10, .dst_ip = 20, .src_port = 1000, .dst_port = 443};
+  const auto b = nat.Bind(f);
+  EXPECT_TRUE(nat.Release(f));
+  EXPECT_FALSE(nat.Release(f));
+  EXPECT_FALSE(nat.Lookup(b->nat_ip, b->nat_port).has_value());
+  EXPECT_EQ(nat.ActiveBindings(), 0u);
+}
+
+TEST(NatTest, CapacityIs65kPerIp) {
+  NatTable one{{1}};
+  EXPECT_EQ(one.Capacity(), NatTable::kPortsPerIp);
+  NatTable three{{1, 2, 3}};
+  EXPECT_EQ(three.Capacity(), 3 * NatTable::kPortsPerIp);
+}
+
+TEST(NatTest, ExhaustionReturnsNullopt) {
+  // Tiny capacity via a single IP: fill a few thousand and verify behavior
+  // at the boundary using a reduced test through release/rebind cycling.
+  NatTable nat{{1}};
+  std::size_t bound = 0;
+  for (std::uint32_t i = 0; i < NatTable::kPortsPerIp; ++i) {
+    FlowKey f{.src_ip = i + 1, .dst_ip = 20, .src_port = 80, .dst_port = 443};
+    if (nat.Bind(f).has_value()) ++bound;
+  }
+  EXPECT_EQ(bound, NatTable::kPortsPerIp);
+  FlowKey extra{.src_ip = 999999, .dst_ip = 20, .src_port = 81,
+                .dst_port = 443};
+  EXPECT_FALSE(nat.Bind(extra).has_value());
+  // Release one, the slot becomes available again.
+  FlowKey f0{.src_ip = 1, .dst_ip = 20, .src_port = 80, .dst_port = 443};
+  EXPECT_TRUE(nat.Release(f0));
+  EXPECT_TRUE(nat.Bind(extra).has_value());
+}
+
+TEST(NatTest, NoExternalIpThrows) {
+  EXPECT_THROW(NatTable{{}}, std::invalid_argument);
+}
+
+TEST(PathTest, FixedAlwaysUp) {
+  const auto p = PathModel::Fixed(0.01);
+  EXPECT_DOUBLE_EQ(p.OneWayDelay(0.0).value(), 0.01);
+  EXPECT_DOUBLE_EQ(p.OneWayDelay(1e9).value(), 0.01);
+}
+
+TEST(PathTest, UpThenDownCutsOver) {
+  const auto p = PathModel::UpThenDown(0.01, 60.0);
+  EXPECT_TRUE(p.OneWayDelay(59.999).has_value());
+  EXPECT_FALSE(p.OneWayDelay(60.0).has_value());
+  EXPECT_FALSE(p.OneWayDelay(100.0).has_value());
+}
+
+TEST(PathTest, PiecewiseSegments) {
+  const auto p = PathModel::Piecewise({
+      {.start_s = 0.0, .delay_s = 0.015},
+      {.start_s = 60.0, .delay_s = std::nullopt},
+      {.start_s = 61.0, .delay_s = 0.032},
+      {.start_s = 75.0, .delay_s = 0.024},
+  });
+  EXPECT_DOUBLE_EQ(p.OneWayDelay(10.0).value(), 0.015);
+  EXPECT_FALSE(p.OneWayDelay(60.5).has_value());
+  EXPECT_DOUBLE_EQ(p.OneWayDelay(61.0).value(), 0.032);
+  EXPECT_DOUBLE_EQ(p.OneWayDelay(100.0).value(), 0.024);
+}
+
+TEST(PathTest, PiecewiseValidation) {
+  EXPECT_THROW(PathModel::Piecewise({}), std::invalid_argument);
+  EXPECT_THROW(PathModel::Piecewise({{.start_s = 5.0, .delay_s = 0.1},
+                                     {.start_s = 1.0, .delay_s = 0.1}}),
+               std::invalid_argument);
+}
+
+TEST(PathTest, DefaultPathIsDown) {
+  PathModel p;
+  EXPECT_FALSE(p.OneWayDelay(0.0).has_value());
+}
+
+}  // namespace
+}  // namespace painter::netsim

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "bgpsim/engine.h"
+#include "bgpsim/path_count.h"
+#include "tests/world_fixture.h"
+
+namespace painter::bgpsim {
+namespace {
+
+using topo::AsGraph;
+using topo::AsTier;
+using util::AsId;
+using util::MetroId;
+
+AsId Add(AsGraph& g, AsTier tier, const char* name) {
+  return g.AddAs(tier, name, {MetroId{0}});
+}
+
+TEST(PathCount, DirectProviderEdge) {
+  // provider -> cloud (cloud is the customer): exactly one path.
+  AsGraph g;
+  const AsId p = Add(g, AsTier::kTier1, "p");
+  const AsId cloud = Add(g, AsTier::kCloud, "c");
+  g.AddProviderEdge(p, cloud);
+  const auto counts = CountValleyFreePaths(g, cloud);
+  EXPECT_DOUBLE_EQ(counts.total[p.value()], 1.0);
+}
+
+TEST(PathCount, DirectPeerEdge) {
+  AsGraph g;
+  const AsId p = Add(g, AsTier::kTransit, "p");
+  const AsId cloud = Add(g, AsTier::kCloud, "c");
+  g.AddPeerEdge(p, cloud);
+  const auto counts = CountValleyFreePaths(g, cloud);
+  EXPECT_DOUBLE_EQ(counts.total[p.value()], 1.0);
+}
+
+TEST(PathCount, StubThroughChain) {
+  // stub -> regional -> transit -> cloud(customer of transit): one path.
+  AsGraph g;
+  const AsId tr = Add(g, AsTier::kTransit, "tr");
+  const AsId r = Add(g, AsTier::kRegional, "r");
+  const AsId s = Add(g, AsTier::kStub, "s");
+  const AsId cloud = Add(g, AsTier::kCloud, "c");
+  g.AddProviderEdge(tr, r);
+  g.AddProviderEdge(r, s);
+  g.AddProviderEdge(tr, cloud);
+  const auto counts = CountValleyFreePaths(g, cloud);
+  EXPECT_DOUBLE_EQ(counts.total[s.value()], 1.0);
+  EXPECT_DOUBLE_EQ(counts.total[r.value()], 1.0);
+}
+
+TEST(PathCount, TwoDisjointChainsAdd) {
+  // Stub with two providers, each with its own session: two paths.
+  AsGraph g;
+  const AsId r1 = Add(g, AsTier::kRegional, "r1");
+  const AsId r2 = Add(g, AsTier::kRegional, "r2");
+  const AsId s = Add(g, AsTier::kStub, "s");
+  const AsId cloud = Add(g, AsTier::kCloud, "c");
+  g.AddProviderEdge(r1, s);
+  g.AddProviderEdge(r2, s);
+  g.AddPeerEdge(r1, cloud);
+  g.AddPeerEdge(r2, cloud);
+  const auto counts = CountValleyFreePaths(g, cloud);
+  EXPECT_DOUBLE_EQ(counts.total[s.value()], 2.0);
+}
+
+TEST(PathCount, PeerThenDownAllowedOnce) {
+  // s -> r1 -peer- r2 -> (cloud customer of r2): valid (up, peer, down).
+  AsGraph g;
+  const AsId r1 = Add(g, AsTier::kRegional, "r1");
+  const AsId r2 = Add(g, AsTier::kRegional, "r2");
+  const AsId s = Add(g, AsTier::kStub, "s");
+  const AsId cloud = Add(g, AsTier::kCloud, "c");
+  g.AddProviderEdge(r1, s);
+  g.AddPeerEdge(r1, r2);
+  g.AddProviderEdge(r2, cloud);  // cloud is r2's customer
+  const auto counts = CountValleyFreePaths(g, cloud);
+  EXPECT_DOUBLE_EQ(counts.total[s.value()], 1.0);
+}
+
+TEST(PathCount, ValleyRejected) {
+  // s -> r1 (up), r1's *provider* t has the session; then t -> cloud is a
+  // peer edge: path s-r1-t-cloud is up,up,peer = valid. But r2 that can only
+  // be reached down from t must not route back up.
+  AsGraph g;
+  const AsId t = Add(g, AsTier::kTransit, "t");
+  const AsId r1 = Add(g, AsTier::kRegional, "r1");
+  const AsId r2 = Add(g, AsTier::kRegional, "r2");
+  const AsId s = Add(g, AsTier::kStub, "s");
+  const AsId cloud = Add(g, AsTier::kCloud, "c");
+  g.AddProviderEdge(t, r1);
+  g.AddProviderEdge(t, r2);
+  g.AddProviderEdge(r1, s);
+  g.AddPeerEdge(r2, cloud);  // only r2 connects
+  // Valid path: s -> r1 -> t -> r2 -> cloud? t->r2 is DOWN, r2->cloud is
+  // PEER after a down hop: invalid (peer must come before any down hop).
+  const auto counts = CountValleyFreePaths(g, cloud);
+  EXPECT_DOUBLE_EQ(counts.total[s.value()], 0.0);
+  EXPECT_DOUBLE_EQ(counts.total[r2.value()], 1.0);  // r2 itself is fine
+}
+
+TEST(PathCount, OriginHasNoSelfCount) {
+  AsGraph g;
+  const AsId p = Add(g, AsTier::kTier1, "p");
+  const AsId cloud = Add(g, AsTier::kCloud, "c");
+  g.AddProviderEdge(p, cloud);
+  const auto counts = CountValleyFreePaths(g, cloud);
+  EXPECT_DOUBLE_EQ(counts.total[cloud.value()], 0.0);
+}
+
+TEST(PathCount, AtLeastOnePathWheneverBgpReaches) {
+  // Consistency with the engine: if the stable outcome reaches an AS, at
+  // least one valley-free path must exist for it.
+  auto w = test::MakeWorld(29, 150, 8);
+  const auto counts = CountValleyFreePaths(w.internet().graph,
+                                           w.deployment->cloud_as());
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
+  const auto result = w.resolver->ResolveWithRoutes(all);
+  for (const auto& ug : w.deployment->ugs()) {
+    if (result.outcome.Reachable(ug.as)) {
+      EXPECT_GE(counts.total[ug.as.value()], 1.0) << "UG " << ug.id;
+    }
+  }
+}
+
+TEST(PathCount, MultihomingMultipliesPaths) {
+  // More providers -> at least as many paths.
+  auto w = test::MakeWorld(31, 200, 8);
+  const auto counts = CountValleyFreePaths(w.internet().graph,
+                                           w.deployment->cloud_as());
+  const auto& g = w.internet().graph;
+  // Aggregate: mean path count of multihomed stubs exceeds single-homed.
+  double multi = 0.0, multi_n = 0.0, single = 0.0, single_n = 0.0;
+  for (const auto& ug : w.deployment->ugs()) {
+    if (g.providers(ug.as).size() >= 2) {
+      multi += counts.total[ug.as.value()];
+      multi_n += 1.0;
+    } else {
+      single += counts.total[ug.as.value()];
+      single_n += 1.0;
+    }
+  }
+  ASSERT_GT(multi_n, 0.0);
+  ASSERT_GT(single_n, 0.0);
+  EXPECT_GT(multi / multi_n, single / single_n);
+}
+
+}  // namespace
+}  // namespace painter::bgpsim

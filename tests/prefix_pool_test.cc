@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/orchestrator.h"
+#include "core/prefix_pool.h"
+#include "tests/world_fixture.h"
+
+namespace painter::core {
+namespace {
+
+TEST(Ipv4PrefixTest, ToStringFormats) {
+  EXPECT_EQ((Ipv4Prefix{0xCB007B00u, 24}.ToString()), "203.0.123.0/24");
+  EXPECT_EQ((Ipv4Prefix{0x01010100u, 24}.ToString()), "1.1.1.0/24");
+}
+
+TEST(Ipv4PrefixTest, ParseRoundTrip) {
+  for (const char* text : {"203.0.123.0/24", "10.0.0.0/8", "1.1.1.0/24",
+                           "192.168.4.128/25", "0.0.0.0/0"}) {
+    const auto p = ParsePrefix(text);
+    ASSERT_TRUE(p.has_value()) << text;
+    EXPECT_EQ(p->ToString(), text);
+  }
+}
+
+TEST(Ipv4PrefixTest, ParseRejectsMalformed) {
+  for (const char* text :
+       {"", "1.2.3.4", "1.2.3/24", "256.0.0.0/8", "1.2.3.4/33",
+        "1.2.3.4/-1", "a.b.c.d/24", "1.2.3.4/24x"}) {
+    EXPECT_FALSE(ParsePrefix(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4PrefixTest, ParseRejectsHostBits) {
+  EXPECT_FALSE(ParsePrefix("1.2.3.4/24").has_value());
+  EXPECT_TRUE(ParsePrefix("1.2.3.4/32").has_value());
+}
+
+TEST(Ipv4PrefixTest, Contains) {
+  const auto p = ParsePrefix("203.0.16.0/20").value();
+  EXPECT_TRUE(p.Contains(0xCB001001u));   // 203.0.16.1
+  EXPECT_TRUE(p.Contains(0xCB001FFFu));   // 203.0.31.255
+  EXPECT_FALSE(p.Contains(0xCB002000u));  // 203.0.32.0
+}
+
+TEST(PrefixPoolTest, CapacityFromSupernet) {
+  PrefixPool pool{ParsePrefix("203.0.0.0/16").value(), 24};
+  EXPECT_EQ(pool.Capacity(), 256u);
+  EXPECT_EQ(pool.Allocated(), 0u);
+}
+
+TEST(PrefixPoolTest, AllocateSequentialDisjoint) {
+  PrefixPool pool{ParsePrefix("203.0.0.0/22").value(), 24};
+  const auto a = pool.Allocate();
+  const auto b = pool.Allocate();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(a->ToString(), "203.0.0.0/24");
+  EXPECT_EQ(b->ToString(), "203.0.1.0/24");
+}
+
+TEST(PrefixPoolTest, ExhaustionAndRelease) {
+  PrefixPool pool{ParsePrefix("203.0.0.0/23").value(), 24};
+  const auto a = pool.Allocate();
+  const auto b = pool.Allocate();
+  EXPECT_FALSE(pool.Allocate().has_value());
+  EXPECT_TRUE(pool.Release(*a));
+  EXPECT_FALSE(pool.Release(*a));  // double release
+  const auto c = pool.Allocate();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);
+  (void)b;
+}
+
+TEST(PrefixPoolTest, ReleaseRejectsForeignPrefix) {
+  PrefixPool pool{ParsePrefix("203.0.0.0/20").value(), 24};
+  EXPECT_FALSE(pool.Release(ParsePrefix("10.0.0.0/24").value()));
+  EXPECT_FALSE(pool.Release(ParsePrefix("203.0.0.0/25").value()));
+}
+
+TEST(PrefixPoolTest, CostAccounting) {
+  PrefixPool pool{ParsePrefix("203.0.0.0/20").value(), 24, 20000.0};
+  (void)pool.Allocate();
+  (void)pool.Allocate();
+  (void)pool.Allocate();
+  EXPECT_DOUBLE_EQ(pool.TotalCostUsd(), 60000.0);
+}
+
+TEST(PrefixPoolTest, InvalidConfigThrows) {
+  EXPECT_THROW(PrefixPool(ParsePrefix("203.0.0.0/24").value(), 16),
+               std::invalid_argument);
+  EXPECT_THROW(PrefixPool(ParsePrefix("0.0.0.0/0").value(), 24),
+               std::invalid_argument);
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    w_ = test::MakeWorld();
+    inst_ = test::MakeInstance(w_);
+  }
+  test::World w_;
+  ProblemInstance inst_;
+};
+
+TEST_F(PlanTest, BindPrefixesAssignsDistinctBlocks) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 4;
+  Orchestrator orch{inst_, cfg};
+  const auto config = orch.ComputeConfig();
+
+  PrefixPool pool{ParsePrefix("203.0.0.0/16").value(), 24};
+  const auto plan = BindPrefixes(config, pool);
+  ASSERT_EQ(plan.prefix_of_index.size(), config.PrefixCount());
+  for (std::size_t i = 0; i < plan.prefix_of_index.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.prefix_of_index.size(); ++j) {
+      EXPECT_NE(plan.prefix_of_index[i], plan.prefix_of_index[j]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(plan.cost_usd,
+                   20000.0 * static_cast<double>(config.PrefixCount()));
+}
+
+TEST_F(PlanTest, BindPrefixesExhaustionRollsBack) {
+  AdvertisementConfig config;
+  for (int i = 0; i < 3; ++i) {
+    config.AddPrefix({w_.deployment->peerings()[i].id});
+  }
+  PrefixPool pool{ParsePrefix("203.0.0.0/23").value(), 24};  // only 2 blocks
+  EXPECT_THROW((void)BindPrefixes(config, pool), std::runtime_error);
+  EXPECT_EQ(pool.Allocated(), 0u);  // all-or-nothing
+}
+
+TEST_F(PlanTest, RibFootprintAnycastInEveryReachableRib) {
+  const auto anycast = AnycastConfig(*w_.deployment);
+  const auto fp = ComputeRibFootprint(anycast, *w_.resolver);
+  ASSERT_EQ(fp.ases_carrying.size(), 1u);
+  // Transit announcements put the anycast prefix in essentially every RIB
+  // (all ASes that can reach the cloud at all).
+  EXPECT_GT(fp.ases_carrying[0], w_.internet().graph.size() * 9 / 10);
+}
+
+TEST_F(PlanTest, PeerOnlyPrefixStaysInCustomerCone) {
+  // A prefix announced only via one non-transit peer occupies RIB slots only
+  // inside that peer's customer cone (plus the peer itself).
+  for (const auto& sess : w_.deployment->peerings()) {
+    if (sess.transit) continue;
+    AdvertisementConfig config;
+    config.AddPrefix({sess.id});
+    const auto fp = ComputeRibFootprint(config, *w_.resolver);
+    const auto cone = w_.internet().graph.CustomerCone(sess.peer);
+    EXPECT_LE(fp.ases_carrying[0], cone.size());
+    break;
+  }
+}
+
+TEST_F(PlanTest, PainterFootprintBelowPrefixTimesAll) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 5;
+  Orchestrator orch{inst_, cfg};
+  const auto config = orch.ComputeConfig();
+  const auto fp = ComputeRibFootprint(config, *w_.resolver);
+  EXPECT_EQ(fp.ases_carrying.size(), config.PrefixCount());
+  EXPECT_LE(fp.total_entries,
+            config.PrefixCount() * w_.internet().graph.size());
+  EXPECT_GT(fp.total_entries, 0u);
+}
+
+}  // namespace
+}  // namespace painter::core

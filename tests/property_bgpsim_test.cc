@@ -1,0 +1,161 @@
+// Property-based checks of the BGP engine over generated internetworks:
+// every forwarding path must be valley-free, outcomes deterministic, and
+// announcement semantics (transit reaches all, subsets pin entries) must
+// hold for every seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bgpsim/engine.h"
+#include "cloudsim/deployment.h"
+#include "tests/world_fixture.h"
+
+namespace painter::bgpsim {
+namespace {
+
+enum class Hop { kUp, kPeer, kDown, kNone };
+
+Hop Classify(const topo::AsGraph& g, util::AsId from, util::AsId to) {
+  const auto& provs = g.providers(from);
+  if (std::find(provs.begin(), provs.end(), to) != provs.end()) {
+    return Hop::kUp;
+  }
+  const auto& peers = g.peers(from);
+  if (std::find(peers.begin(), peers.end(), to) != peers.end()) {
+    return Hop::kPeer;
+  }
+  const auto& custs = g.customers(from);
+  if (std::find(custs.begin(), custs.end(), to) != custs.end()) {
+    return Hop::kDown;
+  }
+  return Hop::kNone;
+}
+
+// Valley-free: the forwarding path from a UG to the origin must look like
+// up* (peer)? down* — once it turns downward or crosses a peer link it may
+// never climb again, and at most one peer link appears.
+bool ValleyFree(const topo::AsGraph& g, util::AsId start,
+                const std::vector<util::AsId>& path) {
+  util::AsId prev = start;
+  int phase = 0;  // 0 = climbing, 1 = crossed peer, 2 = descending
+  for (util::AsId next : path) {
+    const Hop hop = Classify(g, prev, next);
+    switch (hop) {
+      case Hop::kNone:
+        return false;  // non-adjacent hop
+      case Hop::kUp:
+        if (phase != 0) return false;
+        break;
+      case Hop::kPeer:
+        if (phase != 0) return false;
+        phase = 1;
+        break;
+      case Hop::kDown:
+        phase = 2;
+        break;
+    }
+    prev = next;
+  }
+  return true;
+}
+
+class BgpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpPropertyTest, AnycastPathsAreValleyFree) {
+  auto w = test::MakeWorld(GetParam(), 120, 8);
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
+  const auto result = w.resolver->ResolveWithRoutes(all);
+  for (const auto& ug : w.deployment->ugs()) {
+    if (!result.outcome.Reachable(ug.as)) continue;
+    const auto path = result.outcome.Path(ug.as);
+    EXPECT_TRUE(ValleyFree(w.internet().graph, ug.as, path))
+        << "seed " << GetParam() << " UG " << ug.id;
+  }
+}
+
+TEST_P(BgpPropertyTest, SubsetAnnouncementPathsAreValleyFree) {
+  auto w = test::MakeWorld(GetParam(), 120, 8);
+  util::Rng rng{GetParam() + 5};
+  std::vector<util::PeeringId> subset;
+  for (const auto& p : w.deployment->peerings()) {
+    if (rng.Bernoulli(0.2)) subset.push_back(p.id);
+  }
+  if (subset.empty()) return;
+  const auto result = w.resolver->ResolveWithRoutes(subset);
+  for (const auto& ug : w.deployment->ugs()) {
+    if (!result.outcome.Reachable(ug.as)) continue;
+    EXPECT_TRUE(ValleyFree(w.internet().graph, ug.as,
+                           result.outcome.Path(ug.as)));
+  }
+}
+
+TEST_P(BgpPropertyTest, PropagationIsDeterministic) {
+  auto w = test::MakeWorld(GetParam(), 80, 6);
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
+  const auto a = w.resolver->Resolve(all);
+  const auto b = w.resolver->Resolve(all);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(BgpPropertyTest, SupersetNeverLosesReachability) {
+  // Announcing via more sessions can only keep or gain reachability.
+  auto w = test::MakeWorld(GetParam(), 100, 6);
+  util::Rng rng{GetParam() + 9};
+  std::vector<util::PeeringId> small;
+  std::vector<util::PeeringId> big;
+  for (const auto& p : w.deployment->peerings()) {
+    const bool in_small = rng.Bernoulli(0.15);
+    if (in_small) small.push_back(p.id);
+    if (in_small || rng.Bernoulli(0.3)) big.push_back(p.id);
+  }
+  if (small.empty()) return;
+  const auto s = w.resolver->Resolve(small);
+  const auto b = w.resolver->Resolve(big);
+  for (std::size_t u = 0; u < s.size(); ++u) {
+    if (s[u].has_value()) {
+      EXPECT_TRUE(b[u].has_value()) << "seed " << GetParam() << " ug " << u;
+    }
+  }
+}
+
+TEST_P(BgpPropertyTest, EntryAsAlwaysDirectlyAnnounced) {
+  auto w = test::MakeWorld(GetParam(), 100, 6);
+  util::Rng rng{GetParam() + 13};
+  std::vector<util::PeeringId> subset;
+  std::set<std::uint32_t> announced_as;
+  for (const auto& p : w.deployment->peerings()) {
+    if (rng.Bernoulli(0.25)) {
+      subset.push_back(p.id);
+      announced_as.insert(p.peer.value());
+    }
+  }
+  if (subset.empty()) return;
+  const auto result = w.resolver->ResolveWithRoutes(subset);
+  for (const auto& ug : w.deployment->ugs()) {
+    if (!result.outcome.Reachable(ug.as)) continue;
+    const auto entry = result.outcome.EntryAs(ug.as);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_TRUE(announced_as.contains(entry->value()));
+  }
+}
+
+TEST_P(BgpPropertyTest, PathLengthMatchesRouteMetadata) {
+  auto w = test::MakeWorld(GetParam(), 80, 6);
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
+  const auto result = w.resolver->ResolveWithRoutes(all);
+  for (const auto& ug : w.deployment->ugs()) {
+    if (!result.outcome.Reachable(ug.as)) continue;
+    const auto& route = result.outcome.RouteAt(ug.as);
+    EXPECT_EQ(result.outcome.Path(ug.as).size(), route.path_length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpPropertyTest,
+                         ::testing::Values(1, 7, 42, 99, 1234, 555, 2023,
+                                           31337));
+
+}  // namespace
+}  // namespace painter::bgpsim

@@ -1,0 +1,80 @@
+// Property checks of the DNS TTL-violation synthesizer across parameters:
+// the mechanisms must respond to their knobs in the physically sensible
+// direction for any seed.
+#include <gtest/gtest.h>
+
+#include "dnssim/ttl_study.h"
+
+namespace painter::dnssim {
+namespace {
+
+CloudTrafficProfile BaseProfile() {
+  CloudTrafficProfile p = DefaultCloudProfiles()[1];  // Cloud B, mid-range
+  return p;
+}
+
+class TtlPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TtlPropertyTest, LongerTtlMeansFewerStaleBytes) {
+  auto p = BaseProfile();
+  double prev = 1.1;
+  for (const double ttl : {30.0, 120.0, 600.0, 3600.0}) {
+    p.ttl_seconds = ttl;
+    util::Rng rng{GetParam()};
+    const auto r = RunTtlStudy(p, 150, 3600.0, rng);
+    const double stale = FractionAtOrAfter(r, 0.0);
+    EXPECT_LE(stale, prev + 0.03) << "ttl " << ttl;  // small sampling slack
+    prev = stale;
+  }
+}
+
+TEST_P(TtlPropertyTest, NoReuseMeansNoStaleNewFlows) {
+  auto p = BaseProfile();
+  p.stale_reuse_prob = 0.0;
+  util::Rng rng{GetParam()};
+  const auto r = RunTtlStudy(p, 100, 3600.0, rng);
+  EXPECT_DOUBLE_EQ(r.stale_new_flow_bytes, 0.0);
+  // Live flows can still outlast the record.
+  EXPECT_GT(r.live_past_expiry_bytes, 0.0);
+}
+
+TEST_P(TtlPropertyTest, LongerFlowsMoreLiveViolations) {
+  auto shorter = BaseProfile();
+  shorter.duration_mu = 1.5;
+  auto longer = BaseProfile();
+  longer.duration_mu = 5.5;
+  util::Rng rng_a{GetParam()};
+  util::Rng rng_b{GetParam()};
+  const auto a = RunTtlStudy(shorter, 150, 3600.0, rng_a);
+  const auto b = RunTtlStudy(longer, 150, 3600.0, rng_b);
+  EXPECT_GT(b.live_past_expiry_bytes / b.total_bytes,
+            a.live_past_expiry_bytes / a.total_bytes);
+}
+
+TEST_P(TtlPropertyTest, ByteAccountingConsistent) {
+  auto p = BaseProfile();
+  util::Rng rng{GetParam()};
+  const auto r = RunTtlStudy(p, 120, 3600.0, rng);
+  EXPECT_GT(r.total_bytes, 0.0);
+  EXPECT_LE(r.live_past_expiry_bytes + r.stale_new_flow_bytes,
+            r.total_bytes + 1e-6);
+  // CDF covers all bytes.
+  EXPECT_NEAR(FractionAtOrAfter(r, -1e12), 1.0, 1e-12);
+  EXPECT_NEAR(FractionAtOrAfter(r, 1e12), 0.0, 1e-12);
+}
+
+TEST_P(TtlPropertyTest, DeterministicPerSeed) {
+  auto p = BaseProfile();
+  util::Rng a{GetParam()};
+  util::Rng b{GetParam()};
+  const auto ra = RunTtlStudy(p, 60, 1800.0, a);
+  const auto rb = RunTtlStudy(p, 60, 1800.0, b);
+  EXPECT_DOUBLE_EQ(ra.total_bytes, rb.total_bytes);
+  EXPECT_DOUBLE_EQ(ra.stale_new_flow_bytes, rb.stale_new_flow_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtlPropertyTest,
+                         ::testing::Values(2, 11, 47, 203));
+
+}  // namespace
+}  // namespace painter::dnssim

@@ -1,0 +1,154 @@
+// Property-based checks of Algorithm 1 across seeded worlds: budget and
+// validity invariants, monotonicity in budget, bounds against the possible
+// benefit, reuse dominating its ablation in the model, and determinism.
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/evaluate.h"
+#include "core/orchestrator.h"
+#include "core/sim_environment.h"
+#include "tests/world_fixture.h"
+
+namespace painter::core {
+namespace {
+
+class OrchestratorPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    w_ = test::MakeWorld(GetParam(), 130, 8);
+    inst_ = test::MakeInstance(w_, GetParam() + 77);
+  }
+  test::World w_;
+  ProblemInstance inst_;
+};
+
+TEST_P(OrchestratorPropertyTest, ConfigIsValid) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 6;
+  Orchestrator orch{inst_, cfg};
+  const auto config = orch.ComputeConfig();
+  EXPECT_LE(config.PrefixCount(), 6u);
+  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+    EXPECT_FALSE(config.Sessions(p).empty());
+    for (const auto sid : config.Sessions(p)) {
+      // Every advertised session exists in the deployment...
+      EXPECT_LT(sid.value(), w_.deployment->peerings().size());
+      // ...and serves at least one UG.
+      EXPECT_FALSE(inst_.ugs_with_peering[sid.value()].empty());
+    }
+    // Sessions within a prefix are unique and sorted.
+    const auto& s = config.Sessions(p);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+  }
+}
+
+TEST_P(OrchestratorPropertyTest, PredictedBenefitWithinBounds) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 8;
+  Orchestrator orch{inst_, cfg};
+  const auto pred = orch.Predict(orch.ComputeConfig());
+  EXPECT_GE(pred.mean_ms, 0.0);
+  EXPECT_LE(pred.upper_ms, inst_.TotalPossibleBenefitMs() + 1e-6);
+}
+
+TEST_P(OrchestratorPropertyTest, BudgetMonotonicity) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 10;
+  Orchestrator orch{inst_, cfg};
+  const auto full = orch.ComputeConfig();
+  double prev = -1.0;
+  for (std::size_t b = 0; b <= full.PrefixCount(); ++b) {
+    const double v = orch.Predict(Truncate(full, b)).mean_ms;
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+}
+
+TEST_P(OrchestratorPropertyTest, ReuseAtLeastAsGoodInModel) {
+  OrchestratorConfig with;
+  with.prefix_budget = 4;
+  OrchestratorConfig without = with;
+  without.enable_reuse = false;
+  Orchestrator a{inst_, with};
+  Orchestrator b{inst_, without};
+  EXPECT_GE(a.Predict(a.ComputeConfig()).mean_ms,
+            b.Predict(b.ComputeConfig()).mean_ms - 1e-9);
+}
+
+TEST_P(OrchestratorPropertyTest, Deterministic) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 5;
+  Orchestrator a{inst_, cfg};
+  Orchestrator b{inst_, cfg};
+  const auto ca = a.ComputeConfig();
+  const auto cb = b.ComputeConfig();
+  ASSERT_EQ(ca.PrefixCount(), cb.PrefixCount());
+  for (std::size_t p = 0; p < ca.PrefixCount(); ++p) {
+    EXPECT_EQ(ca.Sessions(p), cb.Sessions(p));
+  }
+}
+
+TEST_P(OrchestratorPropertyTest, RealizedNonNegativeAndBounded) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 6;
+  cfg.max_learning_iterations = 2;
+  Orchestrator orch{inst_, cfg};
+  SimEnvironment env{*w_.resolver, *w_.oracle, util::Rng{GetParam() + 3}};
+  const auto reports = orch.Learn(env);
+  GroundTruthEvaluator eval{*w_.deployment, *w_.resolver, *w_.oracle};
+  const double possible = eval.PossibleMeanImprovementMs(*w_.catalog, 0);
+  for (const auto& r : reports) {
+    EXPECT_GE(r.realized_ms, 0.0);
+    EXPECT_LE(r.realized_ms, possible + 1.0);  // probe noise allowance
+  }
+}
+
+TEST_P(OrchestratorPropertyTest, ObservationsOnlyFromAdvertisedSessions) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 4;
+  Orchestrator orch{inst_, cfg};
+  const auto config = orch.ComputeConfig();
+  SimEnvironment env{*w_.resolver, *w_.oracle, util::Rng{GetParam() + 4}};
+  const auto obs = env.Execute(config);
+  ASSERT_EQ(obs.size(), config.PrefixCount());
+  for (std::size_t p = 0; p < obs.size(); ++p) {
+    const auto& sessions = config.Sessions(p);
+    for (const auto& ingress : obs[p].ingress_of_ug) {
+      if (!ingress.has_value()) continue;
+      EXPECT_TRUE(std::binary_search(sessions.begin(), sessions.end(),
+                                     *ingress));
+    }
+  }
+}
+
+TEST_P(OrchestratorPropertyTest, PainterDominatesBaselinesInModel) {
+  // The Fig. 6a invariant, per seed: PAINTER's modeled estimated benefit at
+  // a small budget is at least every baseline's.
+  constexpr std::size_t kBudget = 3;
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = kBudget;
+  Orchestrator orch{inst_, cfg};
+  const RoutingModel model{inst_.UgCount()};
+  const ExpectationParams params;
+  const double painter =
+      PredictBenefit(inst_, model, orch.ComputeConfig(), params).estimated_ms;
+  EXPECT_GE(painter,
+            PredictBenefit(inst_, model,
+                           OnePerPop(*w_.deployment, inst_, kBudget), params)
+                    .estimated_ms -
+                1e-9);
+  EXPECT_GE(painter,
+            PredictBenefit(inst_, model,
+                           OnePerPeering(*w_.deployment, inst_, kBudget),
+                           params)
+                    .estimated_ms -
+                1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrchestratorPropertyTest,
+                         ::testing::Values(3, 17, 64, 301, 888));
+
+}  // namespace
+}  // namespace painter::core

@@ -1,0 +1,73 @@
+// Property checks of the Traffic Manager scenarios across seeds: the
+// RTT-timescale failover claim (§5.2.3) must hold for every jitter draw, and
+// the state machine must respect its invariants under randomized paths.
+#include <gtest/gtest.h>
+
+#include "tm/failover_scenario.h"
+#include "util/rng.h"
+
+namespace painter::tm {
+namespace {
+
+class FailoverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailoverPropertyTest, DetectionStaysAtRttTimescale) {
+  FailoverScenarioConfig cfg;
+  cfg.run_for_s = 70.0;
+  cfg.edge.seed = GetParam();
+  cfg.edge.delay_jitter = 0.05;
+  const auto r = RunFailoverScenario(cfg);
+  ASSERT_GE(r.detection_delay_s, 0.0) << "never failed over";
+  // Upper bound: probe interval + 1.3 x RTT + generous slack; far below the
+  // ~1 s anycast gap and the 60 s DNS TTL.
+  const double rtt = 2.0 * cfg.chosen_delay_s;
+  EXPECT_LT(r.detection_delay_s, cfg.edge.probe_interval_s + 3.0 * rtt);
+  EXPECT_GE(r.failover_target, 2);  // one of the PoP-B prefixes
+}
+
+TEST_P(FailoverPropertyTest, ChosenTunnelAlwaysUsable) {
+  // At every sample, the chosen tunnel (if any) reports an RTT — the edge
+  // never points flows at a tunnel it believes is down.
+  FailoverScenarioConfig cfg;
+  cfg.run_for_s = 90.0;
+  cfg.edge.seed = GetParam();
+  const auto r = RunFailoverScenario(cfg);
+  for (const auto& s : r.samples) {
+    if (s.chosen < 0) continue;
+    if (s.t < 0.5) continue;  // boot
+    EXPECT_TRUE(s.rtt_ms[static_cast<std::size_t>(s.chosen)].has_value())
+        << "t=" << s.t;
+  }
+}
+
+TEST_P(FailoverPropertyTest, FailoversAlternateConsistently) {
+  FailoverScenarioConfig cfg;
+  cfg.run_for_s = 90.0;
+  cfg.edge.seed = GetParam();
+  const auto r = RunFailoverScenario(cfg);
+  // Each failover's `from` must equal the previous `to`.
+  int cur = -1;
+  for (const auto& ev : r.failovers) {
+    EXPECT_EQ(ev.from, cur);
+    EXPECT_NE(ev.to, ev.from);
+    cur = ev.to;
+  }
+}
+
+TEST_P(FailoverPropertyTest, PostFailureTrafficAvoidsDeadPop) {
+  FailoverScenarioConfig cfg;
+  cfg.run_for_s = 100.0;
+  cfg.edge.seed = GetParam();
+  const auto r = RunFailoverScenario(cfg);
+  for (const auto& s : r.samples) {
+    if (s.t > cfg.fail_at_s + 1.0) {
+      EXPECT_NE(s.chosen, 1) << "still on the dead PoP-A prefix at t=" << s.t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailoverPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace painter::tm

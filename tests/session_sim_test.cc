@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgpsim/engine.h"
+#include "bgpsim/session_sim.h"
+#include "tests/world_fixture.h"
+
+namespace painter::bgpsim {
+namespace {
+
+// Distinct neighbor ASes holding sessions in a world's deployment.
+std::vector<util::AsId> NeighborAses(const test::World& w) {
+  std::set<std::uint32_t> seen;
+  std::vector<util::AsId> out;
+  for (const auto& sess : w.deployment->peerings()) {
+    if (seen.insert(sess.peer.value()).second) out.push_back(sess.peer);
+  }
+  return out;
+}
+
+void ExpectMatchesEngine(const test::World& w,
+                         const std::vector<util::AsId>& announced,
+                         const MessageLevelSim& msim) {
+  const BgpEngine engine{w.internet().graph};
+  const auto outcome = engine.Propagate(
+      Announcement{util::PrefixId{0}, w.deployment->cloud_as(), announced});
+  for (std::uint32_t v = 0; v < w.internet().graph.size(); ++v) {
+    const util::AsId as{v};
+    if (as == w.deployment->cloud_as()) continue;
+    const auto got = msim.BestAsEngineRoute(as);
+    ASSERT_EQ(got.has_value(), outcome.Reachable(as)) << "AS " << v;
+    if (!got.has_value()) continue;
+    const Route& want = outcome.RouteAt(as);
+    EXPECT_EQ(got->learned_from, want.learned_from) << "AS " << v;
+    EXPECT_EQ(got->path_length, want.path_length) << "AS " << v;
+    EXPECT_EQ(got->next_hop, want.next_hop) << "AS " << v;
+  }
+}
+
+class SessionSimTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionSimTest, ConvergesToStaticEngineFixpointFullAnnounce) {
+  auto w = test::MakeWorld(GetParam(), 100, 6);
+  netsim::Simulator sim;
+  MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
+                       {.seed = GetParam()}};
+  const auto neighbors = NeighborAses(w);
+  msim.Announce(neighbors);
+  sim.Run(1e6);
+  ASSERT_TRUE(sim.Empty());  // fully quiesced
+  ExpectMatchesEngine(w, neighbors, msim);
+}
+
+TEST_P(SessionSimTest, ConvergesToStaticEngineOnSubsets) {
+  auto w = test::MakeWorld(GetParam(), 100, 6);
+  util::Rng pick{GetParam() + 31};
+  const auto all = NeighborAses(w);
+  std::vector<util::AsId> subset;
+  for (const auto n : all) {
+    if (pick.Bernoulli(0.3)) subset.push_back(n);
+  }
+  if (subset.empty()) subset.push_back(all.front());
+
+  netsim::Simulator sim;
+  MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
+                       {.seed = GetParam()}};
+  msim.Announce(subset);
+  sim.Run(1e6);
+  ExpectMatchesEngine(w, subset, msim);
+}
+
+TEST_P(SessionSimTest, WithdrawalReconvergesToReducedAnnouncement) {
+  auto w = test::MakeWorld(GetParam(), 100, 6);
+  const auto all = NeighborAses(w);
+  ASSERT_GT(all.size(), 2u);
+  // Withdraw roughly half of the sessions (keep at least one).
+  std::vector<util::AsId> kept;
+  std::vector<util::AsId> dropped;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i % 2 == 0 ? kept : dropped).push_back(all[i]);
+  }
+
+  netsim::Simulator sim;
+  MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
+                       {.seed = GetParam()}};
+  msim.Announce(all);
+  sim.Run(1e6);
+  const auto msgs_before = msim.MessagesProcessed();
+
+  msim.Withdraw(dropped);
+  sim.Run(2e6);
+  ASSERT_TRUE(sim.Empty());
+  // The withdrawal generated real churn.
+  EXPECT_GT(msim.MessagesProcessed(), msgs_before);
+  ExpectMatchesEngine(w, kept, msim);
+}
+
+TEST_P(SessionSimTest, FullWithdrawalEmptiesEveryRib) {
+  auto w = test::MakeWorld(GetParam(), 80, 5);
+  const auto all = NeighborAses(w);
+  netsim::Simulator sim;
+  MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
+                       {.seed = GetParam()}};
+  msim.Announce(all);
+  sim.Run(1e6);
+  msim.Withdraw(all);
+  sim.Run(2e6);
+  for (std::uint32_t v = 0; v < w.internet().graph.size(); ++v) {
+    if (util::AsId{v} == w.deployment->cloud_as()) continue;
+    EXPECT_FALSE(msim.Reachable(util::AsId{v})) << "AS " << v;
+  }
+}
+
+TEST_P(SessionSimTest, NoBestPathEverLoops) {
+  auto w = test::MakeWorld(GetParam(), 80, 5);
+  netsim::Simulator sim;
+  MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
+                       {.seed = GetParam()}};
+  msim.Announce(NeighborAses(w));
+  sim.Run(1e6);
+  for (std::uint32_t v = 0; v < w.internet().graph.size(); ++v) {
+    const auto best = msim.BestRoute(util::AsId{v});
+    if (!best.has_value()) continue;
+    std::set<std::uint32_t> seen;
+    for (const auto hop : best->path) {
+      EXPECT_TRUE(seen.insert(hop.value()).second)
+          << "loop in best path of AS " << v;
+    }
+    EXPECT_EQ(best->path.back(), w.deployment->cloud_as());
+  }
+}
+
+TEST_P(SessionSimTest, ChurnLogIsTimeOrderedWithinRuns) {
+  auto w = test::MakeWorld(GetParam(), 80, 5);
+  netsim::Simulator sim;
+  MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
+                       {.seed = GetParam()}};
+  msim.Announce(NeighborAses(w));
+  sim.Run(1e6);
+  const auto& log = msim.ChurnLog();
+  ASSERT_FALSE(log.empty());
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].first, log[i].first);
+    EXPECT_GT(log[i].second, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionSimTest,
+                         ::testing::Values(1, 9, 77, 2024));
+
+}  // namespace
+}  // namespace painter::bgpsim

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "tm/congestion_scenario.h"
+
+namespace painter::tm {
+namespace {
+
+TEST(CongestionScenario, SteersAwayAndBack) {
+  CongestionScenarioConfig cfg;
+  const auto r = RunCongestionScenario(cfg);
+  EXPECT_TRUE(r.steered_away);
+  EXPECT_TRUE(r.steered_back);
+  EXPECT_GT(r.bottleneck_drops, 0u);
+}
+
+TEST(CongestionScenario, SwitchHappensShortlyAfterOnset) {
+  CongestionScenarioConfig cfg;
+  const auto r = RunCongestionScenario(cfg);
+  bool found = false;
+  for (const auto& ev : r.switches) {
+    if (ev.from == 0 && ev.to == 1) {
+      EXPECT_GE(ev.t, cfg.congest_from_s);
+      EXPECT_LT(ev.t, cfg.congest_from_s + 2.0);  // seconds, not TTLs
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CongestionScenario, ReturnsAfterDrain) {
+  CongestionScenarioConfig cfg;
+  const auto r = RunCongestionScenario(cfg);
+  bool back = false;
+  for (const auto& ev : r.switches) {
+    if (ev.from == 1 && ev.to == 0 && ev.t >= cfg.congest_until_s) {
+      EXPECT_LT(ev.t, cfg.congest_until_s + 5.0);
+      back = true;
+    }
+  }
+  EXPECT_TRUE(back);
+}
+
+TEST(CongestionScenario, NoCongestionNoSwitching) {
+  CongestionScenarioConfig cfg;
+  cfg.overload_factor = 0.0;  // pump sends nothing effective
+  cfg.congest_from_s = cfg.congest_until_s;  // empty window
+  const auto r = RunCongestionScenario(cfg);
+  EXPECT_FALSE(r.steered_away);
+  // Only the initial selection event.
+  std::size_t real_switches = 0;
+  for (const auto& ev : r.switches) {
+    if (ev.from >= 0) ++real_switches;
+  }
+  EXPECT_EQ(real_switches, 0u);
+  EXPECT_EQ(r.bottleneck_drops, 0u);
+}
+
+TEST(CongestionScenario, MildLoadInflatesRttWithoutSwitching) {
+  // Below-capacity cross traffic: some queueing, no loss; the preferred
+  // tunnel keeps winning because the inflation stays under the alternate's
+  // RTT plus hysteresis.
+  CongestionScenarioConfig cfg;
+  cfg.overload_factor = 0.5;
+  const auto r = RunCongestionScenario(cfg);
+  EXPECT_EQ(r.bottleneck_drops, 0u);
+  EXPECT_FALSE(r.steered_away);
+  EXPECT_GE(r.rtt_during_peak_ms, r.rtt_before_ms);
+}
+
+TEST(TmEdgeReselect, RttDegradationTriggersSwitch) {
+  // The chosen tunnel's delay rises mid-run (no loss): the edge must move
+  // once the difference exceeds the hysteresis margin.
+  netsim::Simulator sim;
+  TmPop pop_a{sim, "A", {1}};
+  TmPop pop_b{sim, "B", {2}};
+  std::vector<TunnelConfig> tunnels;
+  tunnels.push_back(TunnelConfig{
+      .name = "degrades",
+      .remote_ip = 1,
+      .path = netsim::PathModel::Piecewise({
+          {.start_s = 0.0, .delay_s = 0.010},
+          {.start_s = 5.0, .delay_s = 0.040},
+      }),
+      .pop = &pop_a});
+  tunnels.push_back(TunnelConfig{.name = "steady",
+                                 .remote_ip = 2,
+                                 .path = netsim::PathModel::Fixed(0.020),
+                                 .pop = &pop_b});
+  TmEdge::Config cfg;
+  cfg.delay_jitter = 0.0;
+  TmEdge edge{sim, cfg, std::move(tunnels)};
+  edge.Start();
+  sim.Run(15.0);
+  EXPECT_EQ(edge.chosen(), 1);
+  bool switched = false;
+  for (const auto& ev : edge.failovers()) {
+    if (ev.from == 0 && ev.to == 1 && ev.t > 5.0) {
+      switched = true;
+      EXPECT_LT(ev.t, 6.0);  // EWMA catches up within a second
+    }
+  }
+  EXPECT_TRUE(switched);
+}
+
+}  // namespace
+}  // namespace painter::tm

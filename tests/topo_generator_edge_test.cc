@@ -1,0 +1,143 @@
+// Edge cases of the Internet generator: degenerate sizes, provider-locality
+// fallbacks, and structural soundness under unusual configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/generator.h"
+
+namespace painter::topo {
+namespace {
+
+InternetConfig Tiny() {
+  InternetConfig cfg;
+  cfg.seed = 9;
+  cfg.tier1_count = 2;
+  cfg.transit_count = 3;
+  cfg.regional_count = 4;
+  cfg.stub_count = 10;
+  return cfg;
+}
+
+TEST(GeneratorEdge, TinyWorldIsSound) {
+  const auto net = GenerateInternet(Tiny());
+  EXPECT_EQ(net.graph.size(), 2u + 3u + 4u + 10u);
+  for (auto s : net.graph.AsesOfTier(AsTier::kStub)) {
+    EXPECT_FALSE(net.graph.providers(s).empty());
+  }
+}
+
+TEST(GeneratorEdge, SingleTier1StillConnects) {
+  auto cfg = Tiny();
+  cfg.tier1_count = 1;
+  const auto net = GenerateInternet(cfg);
+  const auto t1 = net.graph.AsesOfTier(AsTier::kTier1).front();
+  // Every transit must be the tier-1's customer (only provider available).
+  for (auto tr : net.graph.AsesOfTier(AsTier::kTransit)) {
+    EXPECT_TRUE(net.graph.InCustomerCone(tr, t1));
+  }
+}
+
+TEST(GeneratorEdge, ProvidersAreNeverStubs) {
+  const auto net = GenerateInternet(Tiny());
+  for (auto s : net.graph.AsesOfTier(AsTier::kStub)) {
+    for (auto p : net.graph.providers(s)) {
+      EXPECT_NE(net.graph.info(p).tier, AsTier::kStub);
+    }
+  }
+}
+
+TEST(GeneratorEdge, RegionalFootprintsAreLocal) {
+  InternetConfig cfg;
+  cfg.seed = 13;
+  cfg.regional_count = 60;
+  cfg.stub_count = 50;
+  const auto net = GenerateInternet(cfg);
+  // Presence is drawn with a strong distance decay, so the bulk of regional
+  // footprints stays continental; the occasional outlier is allowed (big
+  // metros keep nonzero weight at any distance).
+  std::size_t near = 0;
+  std::size_t total = 0;
+  for (auto r : net.graph.AsesOfTier(AsTier::kRegional)) {
+    const auto& presence = net.graph.info(r).presence;
+    ASSERT_FALSE(presence.empty());
+    const auto& anchor = net.metros[presence.front().value()].location;
+    for (auto m : presence) {
+      ++total;
+      if (Distance(anchor, net.metros[m.value()].location).count() < 5000.0) {
+        ++near;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(total), 0.8);
+}
+
+TEST(GeneratorEdge, StubProvidersWithinServiceRadiusMostly) {
+  InternetConfig cfg;
+  cfg.seed = 17;
+  cfg.stub_count = 400;
+  const auto net = GenerateInternet(cfg);
+  std::size_t far = 0;
+  std::size_t total = 0;
+  for (auto s : net.graph.AsesOfTier(AsTier::kStub)) {
+    const auto& home =
+        net.metros[net.graph.info(s).presence.front().value()].location;
+    for (auto p : net.graph.providers(s)) {
+      ++total;
+      double nearest = 1e18;
+      for (auto m : net.graph.info(p).presence) {
+        nearest = std::min(nearest,
+                           Distance(home, net.metros[m.value()].location)
+                               .count());
+      }
+      if (nearest > 2500.0) ++far;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // The fallback path (nothing within the service radius) is rare.
+  EXPECT_LT(static_cast<double>(far) / static_cast<double>(total), 0.02);
+}
+
+TEST(GeneratorEdge, ExitBiasIsAlwaysAPresenceMetro) {
+  const auto net = GenerateInternet(Tiny());
+  for (std::uint32_t v = 0; v < net.graph.size(); ++v) {
+    const auto& info = net.graph.info(util::AsId{v});
+    if (info.exit_policy != ExitPolicy::kFixedExit) continue;
+    EXPECT_TRUE(std::find(info.presence.begin(), info.presence.end(),
+                          info.exit_bias) != info.presence.end());
+  }
+}
+
+TEST(GeneratorEdge, NoDuplicateProviderEdges) {
+  const auto net = GenerateInternet(Tiny());
+  for (std::uint32_t v = 0; v < net.graph.size(); ++v) {
+    auto provs = net.graph.providers(util::AsId{v});
+    std::vector<util::AsId> sorted(provs.begin(), provs.end());
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(GeneratorEdge, RelationshipGraphIsAcyclic) {
+  // Customer->provider edges must form a DAG, or cone computation and
+  // valley-free counting would be ill-defined.
+  const auto net = GenerateInternet(Tiny());
+  const std::size_t n = net.graph.size();
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 in-progress, 2 done
+  std::function<bool(util::AsId)> dfs = [&](util::AsId v) -> bool {
+    if (state[v.value()] == 1) return false;  // cycle
+    if (state[v.value()] == 2) return true;
+    state[v.value()] = 1;
+    for (auto p : net.graph.providers(v)) {
+      if (!dfs(p)) return false;
+    }
+    state[v.value()] = 2;
+    return true;
+  };
+  for (std::uint32_t v = 0; v < n; ++v) {
+    EXPECT_TRUE(dfs(util::AsId{v})) << "cycle through AS " << v;
+  }
+}
+
+}  // namespace
+}  // namespace painter::topo

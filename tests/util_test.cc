@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace painter::util {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  AsId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  AsId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(AsId{1}, AsId{2});
+  EXPECT_EQ(AsId{7}, AsId{7});
+  EXPECT_NE(AsId{7}, AsId{8});
+}
+
+TEST(StrongId, DistinctTypesDoNotMix) {
+  // Compile-time property; hashing works per type.
+  std::unordered_set<AsId> as_set{AsId{1}, AsId{2}, AsId{1}};
+  EXPECT_EQ(as_set.size(), 2u);
+  std::unordered_set<PopId> pop_set{PopId{1}};
+  EXPECT_EQ(pop_set.size(), 1u);
+}
+
+TEST(Units, MillisArithmetic) {
+  Millis a{10.0};
+  Millis b{2.5};
+  EXPECT_DOUBLE_EQ((a + b).count(), 12.5);
+  EXPECT_DOUBLE_EQ((a - b).count(), 7.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).count(), 20.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).count(), 5.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, FiberLatencyMatchesSpeedOfLightInFiber) {
+  // 200 km of fiber is 1 ms one-way, 2 ms RTT.
+  EXPECT_DOUBLE_EQ(FiberLatency(Km{200.0}).count(), 1.0);
+  EXPECT_DOUBLE_EQ(FiberRtt(Km{200.0}).count(), 2.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform01() != b.Uniform01()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng{7};
+  const double w[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedIndex(w), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+  Rng rng{7};
+  const double w[] = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(w), 2u);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(5.0, 1.5), 5.0);
+  }
+}
+
+TEST(Stats, MeanAndVariance) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(Variance(xs), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptyMeanIsZero) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(Stats, WeightedMean) {
+  const double xs[] = {1.0, 10.0};
+  const double ws[] = {9.0, 1.0};
+  EXPECT_NEAR(WeightedMean(xs, ws), 1.9, 1e-12);
+}
+
+TEST(Stats, WeightedMeanSizeMismatchThrows) {
+  const double xs[] = {1.0};
+  const double ws[] = {1.0, 2.0};
+  EXPECT_THROW((void)WeightedMean(xs, ws), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double xs[] = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 10.0);
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+  const double xs[] = {1.0};
+  EXPECT_THROW((void)Percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, FractionAndQuantile) {
+  EmpiricalCdf cdf;
+  cdf.Add(1.0);
+  cdf.Add(2.0);
+  cdf.Add(3.0);
+  cdf.Add(4.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.0);
+}
+
+TEST(EmpiricalCdfTest, Weighted) {
+  EmpiricalCdf cdf;
+  cdf.Add(1.0, 3.0);
+  cdf.Add(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.75);
+}
+
+TEST(EmpiricalCdfTest, NegativeWeightThrows) {
+  EmpiricalCdf cdf;
+  EXPECT_THROW(cdf.Add(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, SeriesCoversRange) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i <= 10; ++i) cdf.Add(i);
+  const auto series = cdf.Series(5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Accumulator, TracksMinMeanMax) {
+  Accumulator acc;
+  acc.Add(2.0);
+  acc.Add(4.0);
+  acc.Add(9.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+}
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table t{{"a", "long_header"}};
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(TableTest, WrongCellCountThrows) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumAndPctFormat) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Pct(0.5, 1), "50.0%");
+}
+
+TEST(SweepTest, MismatchedSeriesThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(
+      PrintSweep(os, "x", {1.0, 2.0}, {Series{"s", {1.0}}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace painter::util

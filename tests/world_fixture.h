@@ -1,0 +1,65 @@
+// Shared test fixture: a small but fully wired world — generated Internet,
+// cloud deployment, policy catalog, ingress resolver, latency oracle, and a
+// measured problem instance. Sized to keep the whole suite fast while still
+// exercising multi-PoP, multi-peering, multi-UG behaviour.
+#pragma once
+
+#include <memory>
+
+#include "cloudsim/deployment.h"
+#include "cloudsim/ingress.h"
+#include "core/problem.h"
+#include "measure/latency.h"
+#include "topo/generator.h"
+
+namespace painter::test {
+
+// The Internet is heap-allocated because the resolver/oracle hold pointers
+// into it; moving a World must not relocate it.
+struct World {
+  std::unique_ptr<topo::Internet> internet_ptr;
+  std::unique_ptr<cloudsim::Deployment> deployment;
+  std::unique_ptr<cloudsim::PolicyCatalog> catalog;
+  std::unique_ptr<cloudsim::IngressResolver> resolver;
+  std::unique_ptr<measure::LatencyOracle> oracle;
+
+  [[nodiscard]] const topo::Internet& internet() const { return *internet_ptr; }
+};
+
+inline World MakeWorld(std::uint64_t seed = 11, std::size_t stubs = 150,
+                       std::size_t pops = 8) {
+  topo::InternetConfig icfg;
+  icfg.seed = seed;
+  icfg.tier1_count = 4;
+  icfg.transit_count = 12;
+  icfg.regional_count = 30;
+  icfg.stub_count = stubs;
+
+  World w;
+  w.internet_ptr =
+      std::make_unique<topo::Internet>(topo::GenerateInternet(icfg));
+
+  cloudsim::DeploymentConfig dcfg;
+  dcfg.seed = seed + 1;
+  dcfg.pop_count = pops;
+  w.deployment = std::make_unique<cloudsim::Deployment>(
+      cloudsim::BuildDeployment(*w.internet_ptr, dcfg));
+  w.catalog = std::make_unique<cloudsim::PolicyCatalog>(*w.internet_ptr,
+                                                        *w.deployment);
+  w.resolver = std::make_unique<cloudsim::IngressResolver>(*w.internet_ptr,
+                                                           *w.deployment);
+  measure::OracleConfig ocfg;
+  ocfg.seed = seed + 2;
+  w.oracle = std::make_unique<measure::LatencyOracle>(*w.internet_ptr,
+                                                      *w.deployment, ocfg);
+  return w;
+}
+
+inline core::ProblemInstance MakeInstance(const World& w,
+                                          std::uint64_t seed = 21) {
+  util::Rng rng{seed};
+  return core::BuildMeasuredInstance(w.internet(), *w.deployment, *w.catalog,
+                                     *w.resolver, *w.oracle, rng);
+}
+
+}  // namespace painter::test

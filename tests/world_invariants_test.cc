@@ -1,0 +1,120 @@
+// Cross-module invariants over a sweep of deployment shapes: whatever the
+// PoP count, peering density, or seed, the wired-up world must be coherent —
+// these are the contracts every bench and experiment silently relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgpsim/dynamics.h"
+#include "tests/world_fixture.h"
+
+namespace painter {
+namespace {
+
+struct WorldShape {
+  std::uint64_t seed;
+  std::size_t stubs;
+  std::size_t pops;
+};
+
+class WorldInvariantsTest : public ::testing::TestWithParam<WorldShape> {
+ protected:
+  void SetUp() override {
+    const auto& p = GetParam();
+    w_ = test::MakeWorld(p.seed, p.stubs, p.pops);
+  }
+  test::World w_;
+};
+
+TEST_P(WorldInvariantsTest, CloudPresentAtEveryPopMetro) {
+  const auto& info = w_.internet().graph.info(w_.deployment->cloud_as());
+  for (const auto& pop : w_.deployment->pops()) {
+    EXPECT_TRUE(std::find(info.presence.begin(), info.presence.end(),
+                          pop.metro) != info.presence.end());
+  }
+}
+
+TEST_P(WorldInvariantsTest, SessionsReferenceValidEntities) {
+  for (const auto& sess : w_.deployment->peerings()) {
+    EXPECT_LT(sess.peer.value(), w_.internet().graph.size());
+    EXPECT_LT(sess.pop.value(), w_.deployment->pops().size());
+  }
+}
+
+TEST_P(WorldInvariantsTest, TransitSessionsExist) {
+  // The cloud always buys transit, so anycast reaches the whole Internet.
+  EXPECT_FALSE(w_.deployment->TransitPeerings().empty());
+}
+
+TEST_P(WorldInvariantsTest, AnycastReachesEveryUg) {
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w_.deployment->peerings()) all.push_back(p.id);
+  const auto ingress = w_.resolver->Resolve(all);
+  for (const auto& ug : w_.deployment->ugs()) {
+    EXPECT_TRUE(ingress[ug.id.value()].has_value()) << "UG " << ug.id;
+  }
+}
+
+TEST_P(WorldInvariantsTest, CompliantSetsIncludeAllTransitSessions) {
+  const auto& transits = w_.deployment->TransitPeerings();
+  for (const auto& ug : w_.deployment->ugs()) {
+    const auto compliant = w_.catalog->CompliantPeerings(ug.id);
+    for (const auto t : transits) {
+      EXPECT_TRUE(std::binary_search(compliant.begin(), compliant.end(), t));
+    }
+  }
+}
+
+TEST_P(WorldInvariantsTest, OracleStrictlyPositiveAndFinite) {
+  for (const auto& ug : w_.deployment->ugs()) {
+    if (ug.id.value() % 17 != 0) continue;  // sample
+    for (const auto pid : w_.catalog->CompliantPeerings(ug.id)) {
+      const double rtt = w_.oracle->TrueRtt(ug.id, pid).count();
+      EXPECT_GT(rtt, 0.0);
+      EXPECT_LT(rtt, 2000.0);  // sanity: nothing beyond 2 seconds
+    }
+  }
+}
+
+TEST_P(WorldInvariantsTest, InstanceMatchesWorld) {
+  const auto inst = test::MakeInstance(w_, GetParam().seed + 1);
+  EXPECT_EQ(inst.UgCount(), w_.deployment->ugs().size());
+  EXPECT_EQ(inst.peering_count, w_.deployment->peerings().size());
+  double weight = 0.0;
+  for (const auto& ug : w_.deployment->ugs()) weight += ug.traffic_weight;
+  EXPECT_NEAR(inst.total_weight, weight, weight * 1e-9);
+  // Anycast baseline must be achievable: at least one option per UG is never
+  // worse than ~the anycast ingress itself (the anycast choice is compliant).
+  for (std::uint32_t u = 0; u < inst.UgCount(); ++u) {
+    EXPECT_GT(inst.anycast_rtt_ms[u], 0.0);
+  }
+}
+
+TEST_P(WorldInvariantsTest, WithdrawalOfEverythingKillsReachability) {
+  bgpsim::Announcement before{util::PrefixId{0}, w_.deployment->cloud_as(), {}};
+  std::set<std::uint32_t> seen;
+  for (const auto& sess : w_.deployment->peerings()) {
+    if (seen.insert(sess.peer.value()).second) {
+      before.to_neighbors.push_back(sess.peer);
+    }
+  }
+  const bgpsim::Announcement after{util::PrefixId{0},
+                                   w_.deployment->cloud_as(), {}};
+  bgpsim::BgpEngine engine{w_.internet().graph};
+  util::Rng rng{3};
+  const auto trace = bgpsim::SimulateWithdrawal(
+      engine, before, after, w_.deployment->ugs().front().as,
+      bgpsim::ConvergenceParams{}, rng);
+  // No alternate announcement remains: the observer never recovers.
+  EXPECT_DOUBLE_EQ(trace.reachable_again_seconds, -1.0);
+  EXPECT_FALSE(trace.events.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WorldInvariantsTest,
+    ::testing::Values(WorldShape{1, 80, 4}, WorldShape{2, 150, 8},
+                      WorldShape{3, 150, 16}, WorldShape{4, 300, 12},
+                      WorldShape{5, 60, 25}));
+
+}  // namespace
+}  // namespace painter
