@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_failover.dir/fig10_failover.cc.o"
+  "CMakeFiles/fig10_failover.dir/fig10_failover.cc.o.d"
+  "fig10_failover"
+  "fig10_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

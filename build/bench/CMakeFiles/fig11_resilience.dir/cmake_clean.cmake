@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_resilience.dir/fig11_resilience.cc.o"
+  "CMakeFiles/fig11_resilience.dir/fig11_resilience.cc.o.d"
+  "fig11_resilience"
+  "fig11_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_geolocation.dir/fig12_geolocation.cc.o"
+  "CMakeFiles/fig12_geolocation.dir/fig12_geolocation.cc.o.d"
+  "fig12_geolocation"
+  "fig12_geolocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_geolocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_ranges.cc" "bench/CMakeFiles/fig14_ranges.dir/fig14_ranges.cc.o" "gcc" "bench/CMakeFiles/fig14_ranges.dir/fig14_ranges.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tm/CMakeFiles/painter_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/painter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssim/CMakeFiles/painter_dnssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/painter_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/painter_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudsim/CMakeFiles/painter_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpsim/CMakeFiles/painter_bgpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/painter_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/painter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

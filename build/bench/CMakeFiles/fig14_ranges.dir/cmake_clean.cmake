@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ranges.dir/fig14_ranges.cc.o"
+  "CMakeFiles/fig14_ranges.dir/fig14_ranges.cc.o.d"
+  "fig14_ranges"
+  "fig14_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scaling.dir/fig15_scaling.cc.o"
+  "CMakeFiles/fig15_scaling.dir/fig15_scaling.cc.o.d"
+  "fig15_scaling"
+  "fig15_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

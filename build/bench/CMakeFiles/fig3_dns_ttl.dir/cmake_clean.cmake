@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dns_ttl.dir/fig3_dns_ttl.cc.o"
+  "CMakeFiles/fig3_dns_ttl.dir/fig3_dns_ttl.cc.o.d"
+  "fig3_dns_ttl"
+  "fig3_dns_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dns_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

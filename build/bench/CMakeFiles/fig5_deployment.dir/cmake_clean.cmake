@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_deployment.dir/fig5_deployment.cc.o"
+  "CMakeFiles/fig5_deployment.dir/fig5_deployment.cc.o.d"
+  "fig5_deployment"
+  "fig5_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_benefit_budget.dir/fig6a_benefit_budget.cc.o"
+  "CMakeFiles/fig6a_benefit_budget.dir/fig6a_benefit_budget.cc.o.d"
+  "fig6a_benefit_budget"
+  "fig6a_benefit_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_benefit_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

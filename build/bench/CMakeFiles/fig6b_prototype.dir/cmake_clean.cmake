@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_prototype.dir/fig6b_prototype.cc.o"
+  "CMakeFiles/fig6b_prototype.dir/fig6b_prototype.cc.o.d"
+  "fig6b_prototype"
+  "fig6b_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

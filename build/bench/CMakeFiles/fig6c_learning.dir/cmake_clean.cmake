@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_learning.dir/fig6c_learning.cc.o"
+  "CMakeFiles/fig6c_learning.dir/fig6c_learning.cc.o.d"
+  "fig6c_learning"
+  "fig6c_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

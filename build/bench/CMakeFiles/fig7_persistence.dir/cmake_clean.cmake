@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_persistence.dir/fig7_persistence.cc.o"
+  "CMakeFiles/fig7_persistence.dir/fig7_persistence.cc.o.d"
+  "fig7_persistence"
+  "fig7_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

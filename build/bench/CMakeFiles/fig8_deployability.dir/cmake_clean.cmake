@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_deployability.dir/fig8_deployability.cc.o"
+  "CMakeFiles/fig8_deployability.dir/fig8_deployability.cc.o.d"
+  "fig8_deployability"
+  "fig8_deployability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_deployability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_granularity.dir/fig9a_granularity.cc.o"
+  "CMakeFiles/fig9a_granularity.dir/fig9a_granularity.cc.o.d"
+  "fig9a_granularity"
+  "fig9a_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

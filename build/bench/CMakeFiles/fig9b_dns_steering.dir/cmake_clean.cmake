@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_dns_steering.dir/fig9b_dns_steering.cc.o"
+  "CMakeFiles/fig9b_dns_steering.dir/fig9b_dns_steering.cc.o.d"
+  "fig9b_dns_steering"
+  "fig9b_dns_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_dns_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

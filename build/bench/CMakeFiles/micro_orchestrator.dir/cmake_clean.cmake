@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_orchestrator.dir/micro_orchestrator.cc.o"
+  "CMakeFiles/micro_orchestrator.dir/micro_orchestrator.cc.o.d"
+  "micro_orchestrator"
+  "micro_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_impact.dir/table_impact.cc.o"
+  "CMakeFiles/table_impact.dir/table_impact.cc.o.d"
+  "table_impact"
+  "table_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

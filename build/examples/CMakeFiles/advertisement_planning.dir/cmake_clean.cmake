@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advertisement_planning.dir/advertisement_planning.cpp.o"
+  "CMakeFiles/advertisement_planning.dir/advertisement_planning.cpp.o.d"
+  "advertisement_planning"
+  "advertisement_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advertisement_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

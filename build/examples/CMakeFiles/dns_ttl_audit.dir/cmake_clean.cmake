@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_ttl_audit.dir/dns_ttl_audit.cpp.o"
+  "CMakeFiles/dns_ttl_audit.dir/dns_ttl_audit.cpp.o.d"
+  "dns_ttl_audit"
+  "dns_ttl_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_ttl_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

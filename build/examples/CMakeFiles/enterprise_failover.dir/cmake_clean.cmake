@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_failover.dir/enterprise_failover.cpp.o"
+  "CMakeFiles/enterprise_failover.dir/enterprise_failover.cpp.o.d"
+  "enterprise_failover"
+  "enterprise_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_workflow.dir/operator_workflow.cpp.o"
+  "CMakeFiles/operator_workflow.dir/operator_workflow.cpp.o.d"
+  "operator_workflow"
+  "operator_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgpsim/dynamics.cc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/dynamics.cc.o" "gcc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/dynamics.cc.o.d"
+  "/root/repo/src/bgpsim/engine.cc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/engine.cc.o" "gcc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/engine.cc.o.d"
+  "/root/repo/src/bgpsim/path_count.cc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/path_count.cc.o" "gcc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/path_count.cc.o.d"
+  "/root/repo/src/bgpsim/session_sim.cc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/session_sim.cc.o" "gcc" "src/bgpsim/CMakeFiles/painter_bgpsim.dir/session_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/painter_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/painter_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/painter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_bgpsim.dir/dynamics.cc.o"
+  "CMakeFiles/painter_bgpsim.dir/dynamics.cc.o.d"
+  "CMakeFiles/painter_bgpsim.dir/engine.cc.o"
+  "CMakeFiles/painter_bgpsim.dir/engine.cc.o.d"
+  "CMakeFiles/painter_bgpsim.dir/path_count.cc.o"
+  "CMakeFiles/painter_bgpsim.dir/path_count.cc.o.d"
+  "CMakeFiles/painter_bgpsim.dir/session_sim.cc.o"
+  "CMakeFiles/painter_bgpsim.dir/session_sim.cc.o.d"
+  "libpainter_bgpsim.a"
+  "libpainter_bgpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_bgpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

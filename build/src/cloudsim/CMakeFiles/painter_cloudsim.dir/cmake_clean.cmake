@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_cloudsim.dir/deployment.cc.o"
+  "CMakeFiles/painter_cloudsim.dir/deployment.cc.o.d"
+  "CMakeFiles/painter_cloudsim.dir/ingress.cc.o"
+  "CMakeFiles/painter_cloudsim.dir/ingress.cc.o.d"
+  "libpainter_cloudsim.a"
+  "libpainter_cloudsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_cloudsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/painter_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/config_io.cc" "src/core/CMakeFiles/painter_core.dir/config_io.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/config_io.cc.o.d"
+  "/root/repo/src/core/evaluate.cc" "src/core/CMakeFiles/painter_core.dir/evaluate.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/evaluate.cc.o.d"
+  "/root/repo/src/core/orchestrator.cc" "src/core/CMakeFiles/painter_core.dir/orchestrator.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/core/prefix_pool.cc" "src/core/CMakeFiles/painter_core.dir/prefix_pool.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/prefix_pool.cc.o.d"
+  "/root/repo/src/core/problem.cc" "src/core/CMakeFiles/painter_core.dir/problem.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/problem.cc.o.d"
+  "/root/repo/src/core/resilience.cc" "src/core/CMakeFiles/painter_core.dir/resilience.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/resilience.cc.o.d"
+  "/root/repo/src/core/routing_model.cc" "src/core/CMakeFiles/painter_core.dir/routing_model.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/routing_model.cc.o.d"
+  "/root/repo/src/core/sim_environment.cc" "src/core/CMakeFiles/painter_core.dir/sim_environment.cc.o" "gcc" "src/core/CMakeFiles/painter_core.dir/sim_environment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/painter_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudsim/CMakeFiles/painter_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpsim/CMakeFiles/painter_bgpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/painter_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/painter_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/painter_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_core.dir/baselines.cc.o"
+  "CMakeFiles/painter_core.dir/baselines.cc.o.d"
+  "CMakeFiles/painter_core.dir/config_io.cc.o"
+  "CMakeFiles/painter_core.dir/config_io.cc.o.d"
+  "CMakeFiles/painter_core.dir/evaluate.cc.o"
+  "CMakeFiles/painter_core.dir/evaluate.cc.o.d"
+  "CMakeFiles/painter_core.dir/orchestrator.cc.o"
+  "CMakeFiles/painter_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/painter_core.dir/prefix_pool.cc.o"
+  "CMakeFiles/painter_core.dir/prefix_pool.cc.o.d"
+  "CMakeFiles/painter_core.dir/problem.cc.o"
+  "CMakeFiles/painter_core.dir/problem.cc.o.d"
+  "CMakeFiles/painter_core.dir/resilience.cc.o"
+  "CMakeFiles/painter_core.dir/resilience.cc.o.d"
+  "CMakeFiles/painter_core.dir/routing_model.cc.o"
+  "CMakeFiles/painter_core.dir/routing_model.cc.o.d"
+  "CMakeFiles/painter_core.dir/sim_environment.cc.o"
+  "CMakeFiles/painter_core.dir/sim_environment.cc.o.d"
+  "libpainter_core.a"
+  "libpainter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

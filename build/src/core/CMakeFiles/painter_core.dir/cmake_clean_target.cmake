@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpainter_core.a"
+)

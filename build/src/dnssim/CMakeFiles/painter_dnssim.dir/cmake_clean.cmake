@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_dnssim.dir/granularity.cc.o"
+  "CMakeFiles/painter_dnssim.dir/granularity.cc.o.d"
+  "CMakeFiles/painter_dnssim.dir/resolvers.cc.o"
+  "CMakeFiles/painter_dnssim.dir/resolvers.cc.o.d"
+  "CMakeFiles/painter_dnssim.dir/ttl_study.cc.o"
+  "CMakeFiles/painter_dnssim.dir/ttl_study.cc.o.d"
+  "libpainter_dnssim.a"
+  "libpainter_dnssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_dnssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

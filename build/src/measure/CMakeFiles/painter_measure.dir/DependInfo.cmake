@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/geolocation.cc" "src/measure/CMakeFiles/painter_measure.dir/geolocation.cc.o" "gcc" "src/measure/CMakeFiles/painter_measure.dir/geolocation.cc.o.d"
+  "/root/repo/src/measure/latency.cc" "src/measure/CMakeFiles/painter_measure.dir/latency.cc.o" "gcc" "src/measure/CMakeFiles/painter_measure.dir/latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudsim/CMakeFiles/painter_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/painter_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/painter_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpsim/CMakeFiles/painter_bgpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/painter_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

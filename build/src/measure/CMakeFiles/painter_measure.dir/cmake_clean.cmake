@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_measure.dir/geolocation.cc.o"
+  "CMakeFiles/painter_measure.dir/geolocation.cc.o.d"
+  "CMakeFiles/painter_measure.dir/latency.cc.o"
+  "CMakeFiles/painter_measure.dir/latency.cc.o.d"
+  "libpainter_measure.a"
+  "libpainter_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

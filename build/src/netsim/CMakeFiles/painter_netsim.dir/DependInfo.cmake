@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/link.cc" "src/netsim/CMakeFiles/painter_netsim.dir/link.cc.o" "gcc" "src/netsim/CMakeFiles/painter_netsim.dir/link.cc.o.d"
+  "/root/repo/src/netsim/nat.cc" "src/netsim/CMakeFiles/painter_netsim.dir/nat.cc.o" "gcc" "src/netsim/CMakeFiles/painter_netsim.dir/nat.cc.o.d"
+  "/root/repo/src/netsim/path.cc" "src/netsim/CMakeFiles/painter_netsim.dir/path.cc.o" "gcc" "src/netsim/CMakeFiles/painter_netsim.dir/path.cc.o.d"
+  "/root/repo/src/netsim/sim.cc" "src/netsim/CMakeFiles/painter_netsim.dir/sim.cc.o" "gcc" "src/netsim/CMakeFiles/painter_netsim.dir/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/painter_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

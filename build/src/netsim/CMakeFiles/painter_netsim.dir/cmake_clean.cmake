@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_netsim.dir/link.cc.o"
+  "CMakeFiles/painter_netsim.dir/link.cc.o.d"
+  "CMakeFiles/painter_netsim.dir/nat.cc.o"
+  "CMakeFiles/painter_netsim.dir/nat.cc.o.d"
+  "CMakeFiles/painter_netsim.dir/path.cc.o"
+  "CMakeFiles/painter_netsim.dir/path.cc.o.d"
+  "CMakeFiles/painter_netsim.dir/sim.cc.o"
+  "CMakeFiles/painter_netsim.dir/sim.cc.o.d"
+  "libpainter_netsim.a"
+  "libpainter_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

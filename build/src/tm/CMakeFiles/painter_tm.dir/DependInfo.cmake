@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tm/congestion_scenario.cc" "src/tm/CMakeFiles/painter_tm.dir/congestion_scenario.cc.o" "gcc" "src/tm/CMakeFiles/painter_tm.dir/congestion_scenario.cc.o.d"
+  "/root/repo/src/tm/control.cc" "src/tm/CMakeFiles/painter_tm.dir/control.cc.o" "gcc" "src/tm/CMakeFiles/painter_tm.dir/control.cc.o.d"
+  "/root/repo/src/tm/failover_scenario.cc" "src/tm/CMakeFiles/painter_tm.dir/failover_scenario.cc.o" "gcc" "src/tm/CMakeFiles/painter_tm.dir/failover_scenario.cc.o.d"
+  "/root/repo/src/tm/tm_edge.cc" "src/tm/CMakeFiles/painter_tm.dir/tm_edge.cc.o" "gcc" "src/tm/CMakeFiles/painter_tm.dir/tm_edge.cc.o.d"
+  "/root/repo/src/tm/tm_pop.cc" "src/tm/CMakeFiles/painter_tm.dir/tm_pop.cc.o" "gcc" "src/tm/CMakeFiles/painter_tm.dir/tm_pop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/painter_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/painter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/painter_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/painter_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudsim/CMakeFiles/painter_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpsim/CMakeFiles/painter_bgpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/painter_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_tm.dir/congestion_scenario.cc.o"
+  "CMakeFiles/painter_tm.dir/congestion_scenario.cc.o.d"
+  "CMakeFiles/painter_tm.dir/control.cc.o"
+  "CMakeFiles/painter_tm.dir/control.cc.o.d"
+  "CMakeFiles/painter_tm.dir/failover_scenario.cc.o"
+  "CMakeFiles/painter_tm.dir/failover_scenario.cc.o.d"
+  "CMakeFiles/painter_tm.dir/tm_edge.cc.o"
+  "CMakeFiles/painter_tm.dir/tm_edge.cc.o.d"
+  "CMakeFiles/painter_tm.dir/tm_pop.cc.o"
+  "CMakeFiles/painter_tm.dir/tm_pop.cc.o.d"
+  "libpainter_tm.a"
+  "libpainter_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_topo.dir/as_graph.cc.o"
+  "CMakeFiles/painter_topo.dir/as_graph.cc.o.d"
+  "CMakeFiles/painter_topo.dir/generator.cc.o"
+  "CMakeFiles/painter_topo.dir/generator.cc.o.d"
+  "CMakeFiles/painter_topo.dir/geo.cc.o"
+  "CMakeFiles/painter_topo.dir/geo.cc.o.d"
+  "libpainter_topo.a"
+  "libpainter_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

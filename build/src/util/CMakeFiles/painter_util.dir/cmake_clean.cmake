@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/painter_util.dir/stats.cc.o"
+  "CMakeFiles/painter_util.dir/stats.cc.o.d"
+  "CMakeFiles/painter_util.dir/table.cc.o"
+  "CMakeFiles/painter_util.dir/table.cc.o.d"
+  "libpainter_util.a"
+  "libpainter_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/painter_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

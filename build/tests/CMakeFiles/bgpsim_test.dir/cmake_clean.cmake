@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_test.dir/bgpsim_test.cc.o"
+  "CMakeFiles/bgpsim_test.dir/bgpsim_test.cc.o.d"
+  "bgpsim_test"
+  "bgpsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

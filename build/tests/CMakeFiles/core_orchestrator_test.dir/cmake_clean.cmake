@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_orchestrator_test.dir/core_orchestrator_test.cc.o"
+  "CMakeFiles/core_orchestrator_test.dir/core_orchestrator_test.cc.o.d"
+  "core_orchestrator_test"
+  "core_orchestrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_orchestrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

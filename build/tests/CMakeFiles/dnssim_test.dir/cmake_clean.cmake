@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssim_test.dir/dnssim_test.cc.o"
+  "CMakeFiles/dnssim_test.dir/dnssim_test.cc.o.d"
+  "dnssim_test"
+  "dnssim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_count_test.dir/path_count_test.cc.o"
+  "CMakeFiles/path_count_test.dir/path_count_test.cc.o.d"
+  "path_count_test"
+  "path_count_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_bgpsim_test.dir/property_bgpsim_test.cc.o"
+  "CMakeFiles/property_bgpsim_test.dir/property_bgpsim_test.cc.o.d"
+  "property_bgpsim_test"
+  "property_bgpsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_bgpsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

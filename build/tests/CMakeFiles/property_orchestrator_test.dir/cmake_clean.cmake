@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_orchestrator_test.dir/property_orchestrator_test.cc.o"
+  "CMakeFiles/property_orchestrator_test.dir/property_orchestrator_test.cc.o.d"
+  "property_orchestrator_test"
+  "property_orchestrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_orchestrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tm_test.dir/property_tm_test.cc.o"
+  "CMakeFiles/property_tm_test.dir/property_tm_test.cc.o.d"
+  "property_tm_test"
+  "property_tm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_sim_test.dir/session_sim_test.cc.o"
+  "CMakeFiles/session_sim_test.dir/session_sim_test.cc.o.d"
+  "session_sim_test"
+  "session_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

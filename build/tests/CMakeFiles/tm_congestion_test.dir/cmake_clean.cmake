@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_congestion_test.dir/tm_congestion_test.cc.o"
+  "CMakeFiles/tm_congestion_test.dir/tm_congestion_test.cc.o.d"
+  "tm_congestion_test"
+  "tm_congestion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_congestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_generator_edge_test.dir/topo_generator_edge_test.cc.o"
+  "CMakeFiles/topo_generator_edge_test.dir/topo_generator_edge_test.cc.o.d"
+  "topo_generator_edge_test"
+  "topo_generator_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_generator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

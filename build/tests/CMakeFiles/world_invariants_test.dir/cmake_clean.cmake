@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_invariants_test.dir/world_invariants_test.cc.o"
+  "CMakeFiles/world_invariants_test.dir/world_invariants_test.cc.o.d"
+  "world_invariants_test"
+  "world_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
