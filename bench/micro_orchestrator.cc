@@ -63,23 +63,37 @@ void BM_Expectation(benchmark::State& state) {
 }
 BENCHMARK(BM_Expectation);
 
+// Args: {stub count, num_threads}. Compare rows at the same stub count to
+// read the serial-vs-parallel speedup of the CELF seeding scan (thread
+// count 1 forces the serial path; results are bit-identical either way —
+// see core_orchestrator_test's determinism checks).
 void BM_OrchestratorPerPrefix(benchmark::State& state) {
   const auto& inst = SharedInstance(static_cast<std::size_t>(state.range(0)));
   core::OrchestratorConfig cfg;
   cfg.prefix_budget = 5;
+  cfg.num_threads = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
     core::Orchestrator orch{inst, cfg};
     benchmark::DoNotOptimize(orch.ComputeConfig());
   }
   state.counters["ugs"] = static_cast<double>(inst.UgCount());
   state.counters["sessions"] = static_cast<double>(inst.peering_count);
+  state.counters["threads"] = static_cast<double>(cfg.num_threads);
   state.counters["s_per_prefix"] = benchmark::Counter(
       5.0, benchmark::Counter::kIsIterationInvariantRate |
                benchmark::Counter::kInvert);
 }
-BENCHMARK(BM_OrchestratorPerPrefix)->Arg(300)->Arg(600)->Arg(1200)
+BENCHMARK(BM_OrchestratorPerPrefix)
+    ->Args({300, 1})
+    ->Args({600, 1})
+    ->Args({600, 2})
+    ->Args({600, 8})
+    ->Args({1200, 1})
+    ->Args({1200, 2})
+    ->Args({1200, 8})
     ->Unit(benchmark::kMillisecond);
 
+// Arg: num_threads for the per-UG prediction loop (1 = serial baseline).
 void BM_PredictBenefit(benchmark::State& state) {
   const auto& inst = SharedInstance(600);
   core::OrchestratorConfig cfg;
@@ -87,12 +101,15 @@ void BM_PredictBenefit(benchmark::State& state) {
   core::Orchestrator orch{inst, cfg};
   const auto config = orch.ComputeConfig();
   const core::RoutingModel model{inst.UgCount()};
+  const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::PredictBenefit(inst, model, config, {}));
+        core::PredictBenefit(inst, model, config, {}, threads));
   }
+  state.counters["threads"] = static_cast<double>(threads);
 }
-BENCHMARK(BM_PredictBenefit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredictBenefit)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

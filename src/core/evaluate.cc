@@ -1,14 +1,18 @@
 #include "core/evaluate.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
+
+#include "util/thread_pool.h"
 
 namespace painter::core {
 
 Orchestrator::Prediction PredictBenefit(const ProblemInstance& instance,
                                         const RoutingModel& model,
                                         const AdvertisementConfig& config,
-                                        const ExpectationParams& params) {
+                                        const ExpectationParams& params,
+                                        std::size_t num_threads) {
   Orchestrator::Prediction pred;
   if (instance.total_weight == 0.0) return pred;
 
@@ -18,25 +22,47 @@ Orchestrator::Prediction PredictBenefit(const ProblemInstance& instance,
   // floored at zero — but a UG on a reused prefix may realize anywhere in
   // [lower, upper], which is exactly the uncertainty One-per-PoP strategies
   // suffer from and One-per-Peering never has.
-  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
-    const double any = instance.anycast_rtt_ms[u];
-    const PrefixExpectation* best = nullptr;
-    PrefixExpectation scratch;
-    for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
-      const PrefixExpectation e =
-          ComputeExpectation(instance, model, u, config.Sessions(p), params);
-      if (!e.usable) continue;
-      if (best == nullptr || e.mean_rtt < best->mean_rtt) {
-        scratch = e;
-        best = &scratch;
-      }
-    }
-    if (best == nullptr || best->mean_rtt >= any) continue;  // keeps anycast
-    const double w = instance.ug_weight[u];
-    pred.upper_ms += w * std::max(0.0, any - best->lower_rtt);
-    pred.mean_ms += w * std::max(0.0, any - best->mean_rtt);
-    pred.estimated_ms += w * std::max(0.0, any - best->estimated_rtt);
-    pred.lower_ms += w * std::max(0.0, any - best->upper_rtt);
+  //
+  // UGs are independent: per-UG terms are computed (possibly concurrently)
+  // into a dense buffer and reduced in UG order below, so the sums are
+  // bit-identical to the serial accumulation at any thread count.
+  struct Term {
+    double lower = 0.0;
+    double mean = 0.0;
+    double estimated = 0.0;
+    double upper = 0.0;
+  };
+  std::vector<Term> terms(instance.UgCount());
+  util::ParallelFor(
+      num_threads, 0, instance.UgCount(), /*grain=*/64,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const auto u = static_cast<std::uint32_t>(i);
+          const double any = instance.anycast_rtt_ms[u];
+          const PrefixExpectation* best = nullptr;
+          PrefixExpectation scratch;
+          for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
+            const PrefixExpectation e = ComputeExpectation(
+                instance, model, u, config.Sessions(p), params);
+            if (!e.usable) continue;
+            if (best == nullptr || e.mean_rtt < best->mean_rtt) {
+              scratch = e;
+              best = &scratch;
+            }
+          }
+          if (best == nullptr || best->mean_rtt >= any) continue;  // anycast
+          const double w = instance.ug_weight[u];
+          terms[i].upper = w * std::max(0.0, any - best->lower_rtt);
+          terms[i].mean = w * std::max(0.0, any - best->mean_rtt);
+          terms[i].estimated = w * std::max(0.0, any - best->estimated_rtt);
+          terms[i].lower = w * std::max(0.0, any - best->upper_rtt);
+        }
+      });
+  for (const Term& t : terms) {
+    pred.upper_ms += t.upper;
+    pred.mean_ms += t.mean;
+    pred.estimated_ms += t.estimated;
+    pred.lower_ms += t.lower;
   }
   pred.lower_ms /= instance.total_weight;
   pred.mean_ms /= instance.total_weight;
@@ -74,38 +100,71 @@ double GroundTruthEvaluator::RttOf(std::uint32_t u, int prefix,
 }
 
 double GroundTruthEvaluator::MeanImprovementMs(int day) const {
+  // Per-UG terms are staged and reduced in UG order (bit-identical to the
+  // serial loop); all shared state (resolved ingresses, the oracle) is
+  // read-only here.
+  const auto& ugs = deployment_->ugs();
+  struct Term {
+    double acc = 0.0;
+    double w = 0.0;
+  };
+  std::vector<Term> terms(ugs.size());
+  util::ParallelFor(
+      num_threads_, 0, ugs.size(), /*grain=*/32,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const auto& ug = ugs[i];
+          const std::uint32_t u = ug.id.value();
+          const double any = RttOf(u, -1, day);
+          double best = any;
+          for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+            best = std::min(best, RttOf(u, static_cast<int>(p), day));
+          }
+          if (std::isfinite(any)) {
+            terms[i].acc = ug.traffic_weight * (any - best);
+            terms[i].w = ug.traffic_weight;
+          }
+        }
+      });
   double acc = 0.0;
   double wsum = 0.0;
-  for (const auto& ug : deployment_->ugs()) {
-    const std::uint32_t u = ug.id.value();
-    const double any = RttOf(u, -1, day);
-    double best = any;
-    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
-      best = std::min(best, RttOf(u, static_cast<int>(p), day));
-    }
-    if (std::isfinite(any)) {
-      acc += ug.traffic_weight * (any - best);
-      wsum += ug.traffic_weight;
-    }
+  for (const Term& t : terms) {
+    acc += t.acc;
+    wsum += t.w;
   }
   return wsum == 0.0 ? 0.0 : acc / wsum;
 }
 
 double GroundTruthEvaluator::PositiveMeanImprovementMs(int day) const {
+  const auto& ugs = deployment_->ugs();
+  struct Term {
+    double acc = 0.0;
+    double w = 0.0;
+  };
+  std::vector<Term> terms(ugs.size());
+  util::ParallelFor(
+      num_threads_, 0, ugs.size(), /*grain=*/32,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const auto& ug = ugs[i];
+          const std::uint32_t u = ug.id.value();
+          const double any = RttOf(u, -1, day);
+          double best = any;
+          for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+            best = std::min(best, RttOf(u, static_cast<int>(p), day));
+          }
+          const double imp = any - best;
+          if (std::isfinite(any) && imp > 1e-9) {
+            terms[i].acc = ug.traffic_weight * imp;
+            terms[i].w = ug.traffic_weight;
+          }
+        }
+      });
   double acc = 0.0;
   double wsum = 0.0;
-  for (const auto& ug : deployment_->ugs()) {
-    const std::uint32_t u = ug.id.value();
-    const double any = RttOf(u, -1, day);
-    double best = any;
-    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
-      best = std::min(best, RttOf(u, static_cast<int>(p), day));
-    }
-    const double imp = any - best;
-    if (std::isfinite(any) && imp > 1e-9) {
-      acc += ug.traffic_weight * imp;
-      wsum += ug.traffic_weight;
-    }
+  for (const Term& t : terms) {
+    acc += t.acc;
+    wsum += t.w;
   }
   return wsum == 0.0 ? 0.0 : acc / wsum;
 }
@@ -129,14 +188,17 @@ double GroundTruthEvaluator::MeanImprovementOverUgsMs(
 }
 
 std::vector<std::uint32_t> GroundTruthEvaluator::BenefitingUgs(
-    const cloudsim::PolicyCatalog& catalog, double threshold_ms) const {
+    const cloudsim::PolicyCatalog& catalog, double threshold_ms,
+    int day) const {
   std::vector<std::uint32_t> out;
   for (const auto& ug : deployment_->ugs()) {
-    const double any = RttOf(ug.id.value(), -1, 0);
+    // Both sides of the headroom comparison use the same day's ground truth
+    // so the set agrees with the improvement metrics for that day.
+    const double any = RttOf(ug.id.value(), -1, day);
     if (!std::isfinite(any)) continue;
     double best = any;
     for (util::PeeringId pid : catalog.CompliantPeerings(ug.id)) {
-      best = std::min(best, oracle_->TrueRtt(ug.id, pid).count());
+      best = std::min(best, oracle_->TrueRttOnDay(ug.id, pid, day).count());
     }
     if (any - best > threshold_ms) out.push_back(ug.id.value());
   }
@@ -144,18 +206,24 @@ std::vector<std::uint32_t> GroundTruthEvaluator::BenefitingUgs(
 }
 
 std::vector<int> GroundTruthEvaluator::Choices(int day) const {
-  std::vector<int> choices(deployment_->ugs().size(), -1);
-  for (const auto& ug : deployment_->ugs()) {
-    const std::uint32_t u = ug.id.value();
-    double best = RttOf(u, -1, day);
-    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
-      const double rtt = RttOf(u, static_cast<int>(p), day);
-      if (rtt < best) {
-        best = rtt;
-        choices[u] = static_cast<int>(p);
-      }
-    }
-  }
+  const auto& ugs = deployment_->ugs();
+  std::vector<int> choices(ugs.size(), -1);
+  // Each iteration writes only its own choices[u] slot.
+  util::ParallelFor(
+      num_threads_, 0, ugs.size(), /*grain=*/32,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const std::uint32_t u = ugs[i].id.value();
+          double best = RttOf(u, -1, day);
+          for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+            const double rtt = RttOf(u, static_cast<int>(p), day);
+            if (rtt < best) {
+              best = rtt;
+              choices[u] = static_cast<int>(p);
+            }
+          }
+        }
+      });
   return choices;
 }
 
@@ -198,22 +266,30 @@ double EvaluateDnsSteering(const ProblemInstance& instance,
                            const RoutingModel& model,
                            const AdvertisementConfig& config,
                            const ExpectationParams& params,
-                           const DnsSteeringInput& dns) {
+                           const DnsSteeringInput& dns,
+                           std::size_t num_threads) {
   if (instance.total_weight == 0.0) return 0.0;
   const std::size_t n_resolvers = dns.resolver_supports_ecs.size();
 
-  // Modeled RTT per (UG, prefix); -1 column is anycast.
+  // Modeled RTT per (UG, prefix). There is no anycast column: a UG falls
+  // back to anycast through the `used` floor in the final loop below.
+  // Each (u, p) cell is independent; the fill is parallelized over UGs.
   const std::size_t cols = config.PrefixCount();
   std::vector<std::vector<double>> rtt(instance.UgCount(),
                                        std::vector<double>(cols, 0.0));
-  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
-    for (std::size_t p = 0; p < cols; ++p) {
-      const PrefixExpectation e =
-          ComputeExpectation(instance, model, u, config.Sessions(p), params);
-      rtt[u][p] = e.usable ? e.mean_rtt
-                           : std::numeric_limits<double>::infinity();
-    }
-  }
+  util::ParallelFor(
+      num_threads, 0, instance.UgCount(), /*grain=*/16,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const auto u = static_cast<std::uint32_t>(i);
+          for (std::size_t p = 0; p < cols; ++p) {
+            const PrefixExpectation e = ComputeExpectation(
+                instance, model, u, config.Sessions(p), params);
+            rtt[u][p] = e.usable ? e.mean_rtt
+                                 : std::numeric_limits<double>::infinity();
+          }
+        }
+      });
 
   // Per resolver: pick the single prefix (or anycast) with the best aggregate
   // improvement over its client UGs.
@@ -246,6 +322,7 @@ double EvaluateDnsSteering(const ProblemInstance& instance,
       // ECS: the resolver can tailor the record per client /24 == per UG.
       for (std::size_t p = 0; p < cols; ++p) used = std::min(used, rtt[u][p]);
     } else if (prefix_of_resolver[r] >= 0) {
+      assert(static_cast<std::size_t>(prefix_of_resolver[r]) < cols);
       const double v = rtt[u][static_cast<std::size_t>(prefix_of_resolver[r])];
       if (std::isfinite(v)) used = v;  // may be worse than anycast for this UG
     }

@@ -27,10 +27,14 @@ namespace painter::core {
 
 // Model-predicted weighted-average improvement over anycast (ms) for each
 // range kind. The Traffic Manager steers per flow across all prefixes with
-// anycast as the floor, so per-UG improvements are >= 0.
+// anycast as the floor, so per-UG improvements are >= 0. The per-UG loop is
+// evaluated with up to `num_threads` threads (0 = hardware_concurrency,
+// 1 = serial); per-UG terms are reduced in fixed UG order so the result is
+// bit-identical at any thread count.
 [[nodiscard]] Orchestrator::Prediction PredictBenefit(
     const ProblemInstance& instance, const RoutingModel& model,
-    const AdvertisementConfig& config, const ExpectationParams& params);
+    const AdvertisementConfig& config, const ExpectationParams& params,
+    std::size_t num_threads = 1);
 
 // Ground-truth evaluation: resolves each prefix once (BGP is static in the
 // simulation) and replays latencies by day.
@@ -41,6 +45,12 @@ class GroundTruthEvaluator {
                        const measure::LatencyOracle& oracle);
 
   void SetConfig(const AdvertisementConfig& config);
+
+  // Worker threads for the per-UG evaluation loops (MeanImprovementMs,
+  // PositiveMeanImprovementMs, Choices). 0 = hardware_concurrency();
+  // 1 (the default) keeps the serial path. Per-UG terms are reduced in
+  // fixed UG order, so results are bit-identical at any thread count.
+  void SetNumThreads(std::size_t num_threads) { num_threads_ = num_threads; }
 
   // Weighted-average improvement with per-flow steering (UG takes the best of
   // anycast and every prefix) at `day`.
@@ -56,9 +66,12 @@ class GroundTruthEvaluator {
       const std::vector<std::uint32_t>& ugs, int day) const;
 
   // UGs whose best compliant ingress beats anycast by more than
-  // `threshold_ms` at day 0 — the "clients with non-zero improvement" set.
+  // `threshold_ms` at `day` — the "clients with non-zero improvement" set.
+  // Both sides of the comparison use the same day's ground truth, so the set
+  // agrees with the improvement metrics computed for that day.
   [[nodiscard]] std::vector<std::uint32_t> BenefitingUgs(
-      const cloudsim::PolicyCatalog& catalog, double threshold_ms = 1.0) const;
+      const cloudsim::PolicyCatalog& catalog, double threshold_ms = 1.0,
+      int day = 0) const;
 
   // Per-UG prefix choice at `day`: index into the config, or -1 for anycast.
   [[nodiscard]] std::vector<int> Choices(int day) const;
@@ -78,6 +91,7 @@ class GroundTruthEvaluator {
   const cloudsim::Deployment* deployment_;
   const cloudsim::IngressResolver* resolver_;
   const measure::LatencyOracle* oracle_;
+  std::size_t num_threads_ = 1;
 
   std::vector<std::optional<util::PeeringId>> anycast_ingress_;
   // Per prefix: resolved ingress per UG.
@@ -93,11 +107,15 @@ struct DnsSteeringInput {
   std::vector<std::uint32_t> resolver_of_ug;  // indexed by UG id
   std::vector<bool> resolver_supports_ecs;    // indexed by resolver id
 };
+// The (UG × prefix) modeled-RTT matrix fill is evaluated with up to
+// `num_threads` threads (0 = hardware_concurrency, 1 = serial); each (u, p)
+// cell is independent, so results are identical at any thread count.
 [[nodiscard]] double EvaluateDnsSteering(const ProblemInstance& instance,
                                          const RoutingModel& model,
                                          const AdvertisementConfig& config,
                                          const ExpectationParams& params,
-                                         const DnsSteeringInput& dns);
+                                         const DnsSteeringInput& dns,
+                                         std::size_t num_threads = 1);
 
 // Truncates `config` to its first `budget` prefixes (greedy order makes the
 // truncation the budget-constrained solution).

@@ -1,6 +1,7 @@
 #include "core/orchestrator.h"
 
 #include "core/evaluate.h"
+#include "util/thread_pool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -36,7 +37,6 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
   // options among `sessions`, maintained incrementally so each marginal
   // evaluation is O(|candidates|) instead of an intersection walk.
   std::vector<std::vector<const IngressOption*>> cands(n_ug);
-  std::vector<const IngressOption*> trial;
 
   for (std::size_t p = 0; p < config_.prefix_budget; ++p) {
     sessions.clear();
@@ -55,6 +55,9 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
     // a UG's expectation on this prefix — a second-order effect the lazy
     // schedule may miss; Algorithm 1 is a greedy heuristic either way.)
     auto marginal_of = [&](util::PeeringId gid) {
+      // Scratch reused across calls; thread_local so the concurrent seeding
+      // scan below can evaluate marginals on pool workers without sharing.
+      thread_local std::vector<const IngressOption*> trial;
       double delta = 0.0;
       for (std::uint32_t u : inst.ugs_with_peering[gid.value()]) {
         const IngressOption* opt = inst.Option(u, gid);
@@ -81,10 +84,27 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
     };
     std::priority_queue<Scored> heap;
     std::uint64_t round = 0;
-    for (std::uint32_t g = 0; g < inst.peering_count; ++g) {
-      if (inst.ugs_with_peering[g].empty()) continue;
-      const double d = marginal_of(util::PeeringId{g});
-      if (d > 0.0) heap.push(Scored{d, round, util::PeeringId{g}});
+    {
+      // Seed the CELF heap. Each peering's marginal touches only read-only
+      // shared state (base_best / cur_e / cands / the routing model), so the
+      // scan is embarrassingly parallel; the heap is then built serially in
+      // peering order, making the result bit-identical to the serial scan.
+      std::vector<double> seed_delta(inst.peering_count, 0.0);
+      util::ParallelFor(
+          config_.num_threads, 0, inst.peering_count, /*grain=*/8,
+          [&](std::size_t chunk_begin, std::size_t chunk_end) {
+            for (std::size_t g = chunk_begin; g < chunk_end; ++g) {
+              if (inst.ugs_with_peering[g].empty()) continue;
+              seed_delta[g] =
+                  marginal_of(util::PeeringId{static_cast<std::uint32_t>(g)});
+            }
+          });
+      for (std::uint32_t g = 0; g < inst.peering_count; ++g) {
+        if (inst.ugs_with_peering[g].empty()) continue;
+        if (seed_delta[g] > 0.0) {
+          heap.push(Scored{seed_delta[g], round, util::PeeringId{g}});
+        }
+      }
     }
 
     while (!heap.empty()) {
@@ -121,9 +141,31 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
   return cc;
 }
 
+bool LearningShouldStop(const std::vector<double>& realized, double stop_frac,
+                        double abs_epsilon_ms, std::size_t patience) {
+  if (realized.empty()) return false;
+  // Track the best realized benefit, seeded from the first report so the
+  // rule behaves sensibly when every benefit is zero or negative. An entry
+  // only counts as an improvement when it clears the larger of the relative
+  // and absolute margins — a multiplicative test alone degenerates at
+  // best == 0 (any ε > 0 would pass) and inverts for negative baselines.
+  double best = realized.front();
+  std::size_t best_at = 0;
+  for (std::size_t i = 1; i < realized.size(); ++i) {
+    const double margin =
+        std::max(std::abs(best) * stop_frac, abs_epsilon_ms);
+    if (realized[i] > best + margin) {
+      best = realized[i];
+      best_at = i;
+    }
+  }
+  return realized.size() - 1 - best_at >= patience;
+}
+
 Orchestrator::Prediction Orchestrator::Predict(
     const AdvertisementConfig& config) const {
-  return PredictBenefit(*instance_, model_, config, config_.Expectation());
+  return PredictBenefit(*instance_, model_, config, config_.Expectation(),
+                        config_.num_threads);
 }
 
 void Orchestrator::Absorb(
@@ -196,16 +238,14 @@ std::vector<Orchestrator::IterationReport> Orchestrator::Learn(
     // Patience-based termination: learning routinely dips for an iteration
     // while the model digests surprising observations, so stop only when the
     // best realized benefit has been flat for `learning_patience` rounds.
-    double best = 0.0;
-    std::size_t best_at = 0;
-    for (std::size_t i = 0; i < reports.size(); ++i) {
-      if (reports[i].realized_ms >
-          best * (1.0 + config_.learning_stop_frac)) {
-        best = reports[i].realized_ms;
-        best_at = i;
-      }
+    std::vector<double> realized;
+    realized.reserve(reports.size());
+    for (const IterationReport& r : reports) realized.push_back(r.realized_ms);
+    if (LearningShouldStop(realized, config_.learning_stop_frac,
+                           config_.learning_abs_epsilon_ms,
+                           config_.learning_patience)) {
+      break;
     }
-    if (reports.size() - 1 - best_at >= config_.learning_patience) break;
   }
   return reports;
 }

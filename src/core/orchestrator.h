@@ -34,10 +34,21 @@ struct OrchestratorConfig {
 
   std::size_t max_learning_iterations = 8;
   // Stop learning when the best realized benefit so far has not improved by
-  // at least this fraction for `learning_patience` consecutive iterations
-  // (§3.1: "terminate learning when little marginal benefit increase").
+  // at least max(|best| * learning_stop_frac, learning_abs_epsilon_ms) for
+  // `learning_patience` consecutive iterations (§3.1: "terminate learning
+  // when little marginal benefit increase"). The absolute epsilon keeps the
+  // tolerance meaningful when the best benefit is zero or negative, where a
+  // purely multiplicative margin degenerates.
   double learning_stop_frac = 0.01;
+  double learning_abs_epsilon_ms = 1e-3;
   std::size_t learning_patience = 2;
+
+  // Worker threads for the embarrassingly parallel evaluation loops (the
+  // CELF seeding scan of ComputeConfig and the per-UG loop of Predict).
+  // 0 = hardware_concurrency(); 1 forces the serial code path. Results are
+  // bit-identical at any value: the parallel paths compute per-index terms
+  // independently and reduce them serially in fixed index order.
+  std::size_t num_threads = 0;
 
   // Ablations.
   bool enable_reuse = true;     // false: one peering per prefix (no reuse)
@@ -67,6 +78,16 @@ class AdvertisementEnvironment {
   [[nodiscard]] virtual std::vector<PrefixObservation> Execute(
       const AdvertisementConfig& config) = 0;
 };
+
+// Patience-based stopping rule of the learning loop (exposed for tests).
+// `realized` holds realized_ms per iteration so far, oldest first. The best
+// entry is tracked starting from the first report; a later entry counts as
+// an improvement only when it beats the best by more than
+// max(|best| * stop_frac, abs_epsilon_ms). Returns true when the last
+// improvement is at least `patience` entries old.
+[[nodiscard]] bool LearningShouldStop(const std::vector<double>& realized,
+                                      double stop_frac, double abs_epsilon_ms,
+                                      std::size_t patience);
 
 class Orchestrator {
  public:

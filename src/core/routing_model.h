@@ -34,6 +34,13 @@
 
 namespace painter::core {
 
+// Thread-safety contract: the const methods (IsDominated, MeasuredRtt,
+// PreferenceCount) and the ComputeExpectation* helpers below only read
+// shared state, so any number of threads may call them concurrently — the
+// orchestrator's parallel evaluation loops rely on this. The Observe*
+// mutators require exclusive access (they run in the serial Absorb phase of
+// the learning loop, never concurrently with evaluations). All evaluation
+// scratch is thread_local.
 class RoutingModel {
  public:
   explicit RoutingModel(std::size_t ug_count);

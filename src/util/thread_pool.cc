@@ -1,0 +1,142 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace painter::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool{EffectiveThreads(0)};
+  return pool;
+}
+
+std::size_t EffectiveThreads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+namespace {
+
+// Shared state of one ParallelFor call. Chunks are claimed from an atomic
+// counter; which thread runs which chunk is unspecified, but the chunk
+// boundaries themselves are fixed, so data-independent bodies stay
+// deterministic. The caller waits for every helper before returning, so the
+// (stack-allocated) state strictly outlives all references to it.
+struct ForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t chunk_count = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t active_helpers = 0;
+  std::exception_ptr error;
+
+  void RunChunks() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunk_count) return;
+      const std::size_t b = begin + c * grain;
+      try {
+        (*fn)(b, std::min(end, b + grain));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(std::size_t num_threads, std::size_t begin, std::size_t end,
+                 std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunk_count = (end - begin + grain - 1) / grain;
+  const std::size_t effective = EffectiveThreads(num_threads);
+
+  if (effective <= 1 || chunk_count <= 1) {
+    // Serial path: same chunk boundaries, executed in order, inline.
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      const std::size_t b = begin + c * grain;
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  ForState st;
+  st.begin = begin;
+  st.end = end;
+  st.grain = grain;
+  st.chunk_count = chunk_count;
+  st.fn = &fn;
+
+  ThreadPool& pool = ThreadPool::Shared();
+  const std::size_t helpers =
+      std::min({effective - 1, pool.thread_count(), chunk_count - 1});
+  st.active_helpers = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.Submit([&st] {
+      st.RunChunks();
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (--st.active_helpers == 0) st.cv.notify_all();
+    });
+  }
+  st.RunChunks();  // the calling thread always participates
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    st.cv.wait(lock, [&st] { return st.active_helpers == 0; });
+  }
+  if (st.error) std::rethrow_exception(st.error);
+}
+
+}  // namespace painter::util

@@ -137,6 +137,71 @@ TEST_F(EvaluateTest, MeanOverUgsMatchesManualAverage) {
   EXPECT_GE(reported + 1e-9, eval_->MeanImprovementOverUgsMs(everyone, 0));
 }
 
+TEST_F(EvaluateTest, BenefitingUgsUsesRequestedDay) {
+  // Regression: BenefitingUgs used the day-0 truth (TrueRtt / RttOf day 0)
+  // regardless of the day the caller evaluated improvements at. Both sides
+  // must come from the requested day's ground truth.
+  const int day = 15;
+  std::vector<util::PeeringId> all;
+  for (const auto& p : w_.deployment->peerings()) all.push_back(p.id);
+  const auto anycast = w_.resolver->Resolve(all);
+  const auto benefiting = eval_->BenefitingUgs(*w_.catalog, 1.0, day);
+  EXPECT_FALSE(benefiting.empty());
+  for (const std::uint32_t u : benefiting) {
+    const util::UgId id{u};
+    ASSERT_TRUE(anycast.at(u).has_value());
+    const double any =
+        w_.oracle->TrueRttOnDay(id, *anycast.at(u), day).count();
+    double best = any;
+    for (const auto pid : w_.catalog->CompliantPeerings(id)) {
+      best = std::min(best, w_.oracle->TrueRttOnDay(id, pid, day).count());
+    }
+    EXPECT_GT(any - best, 1.0) << "ug " << u << " at day " << day;
+  }
+}
+
+TEST_F(EvaluateTest, BenefitingUgsDefaultsToDayZero) {
+  EXPECT_EQ(eval_->BenefitingUgs(*w_.catalog, 1.0),
+            eval_->BenefitingUgs(*w_.catalog, 1.0, 0));
+}
+
+TEST_F(EvaluateTest, GroundTruthParallelBitIdenticalToSerial) {
+  const auto cfg = Painter(5);
+  eval_->SetConfig(cfg);
+  const int day = 3;
+  const double mean = eval_->MeanImprovementMs(day);
+  const double positive = eval_->PositiveMeanImprovementMs(day);
+  const auto choices = eval_->Choices(day);
+  for (const std::size_t t : {2ul, 8ul}) {
+    eval_->SetNumThreads(t);
+    EXPECT_EQ(eval_->MeanImprovementMs(day), mean) << t << " threads";
+    EXPECT_EQ(eval_->PositiveMeanImprovementMs(day), positive);
+    EXPECT_EQ(eval_->Choices(day), choices);
+  }
+  eval_->SetNumThreads(1);
+}
+
+TEST_F(EvaluateTest, PredictAndDnsSteeringParallelBitIdenticalToSerial) {
+  const auto cfg = Painter(5);
+  const RoutingModel model{inst_.UgCount()};
+  DnsSteeringInput dns;
+  dns.resolver_supports_ecs = {false, true, false, false};
+  dns.resolver_of_ug.resize(inst_.UgCount());
+  for (std::uint32_t u = 0; u < inst_.UgCount(); ++u) {
+    dns.resolver_of_ug[u] = u % dns.resolver_supports_ecs.size();
+  }
+  const auto pred = PredictBenefit(inst_, model, cfg, {}, 1);
+  const double steered = EvaluateDnsSteering(inst_, model, cfg, {}, dns, 1);
+  for (const std::size_t t : {2ul, 8ul}) {
+    const auto p = PredictBenefit(inst_, model, cfg, {}, t);
+    EXPECT_EQ(p.lower_ms, pred.lower_ms) << t << " threads";
+    EXPECT_EQ(p.mean_ms, pred.mean_ms);
+    EXPECT_EQ(p.estimated_ms, pred.estimated_ms);
+    EXPECT_EQ(p.upper_ms, pred.upper_ms);
+    EXPECT_EQ(EvaluateDnsSteering(inst_, model, cfg, {}, dns, t), steered);
+  }
+}
+
 TEST_F(EvaluateTest, TruncateMonotoneInModel) {
   const auto cfg = Painter(8);
   const RoutingModel model{inst_.UgCount()};

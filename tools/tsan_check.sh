@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job for the parallel evaluation paths.
+#
+# Configures a dedicated build tree with -fsanitize=thread, builds only the
+# targets that exercise the thread pool and the orchestrator's/evaluators'
+# parallel loops, and runs them under TSan. Any data race fails the job.
+#
+# Usage: tools/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+TESTS='util_thread_pool_test|core_orchestrator_test|core_evaluate_test'
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$BUILD_DIR" -j \
+  --target util_thread_pool_test core_orchestrator_test core_evaluate_test
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "($TESTS)"
+echo "TSan check passed: no data races in the parallel evaluation paths."
