@@ -10,16 +10,31 @@
 // keeping thousands of UGs and hundreds of sessions in play.
 #pragma once
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "cloudsim/deployment.h"
 #include "cloudsim/ingress.h"
 #include "core/problem.h"
 #include "measure/geolocation.h"
 #include "measure/latency.h"
+#include "obs/report.h"
 #include "topo/generator.h"
 
 namespace painter::bench {
+
+// Where a bench's JSON run report lands: $PAINTER_REPORT_DIR/BENCH_<name>.json
+// when the variable is set, else BENCH_<name>.json in the working directory.
+// Schema: painter.bench.v1 (see obs/report.h). Every figure bench and
+// micro_orchestrator write one of these so perf and result trajectories can
+// be tracked across commits without scraping stdout.
+inline std::string ReportPath(const std::string& name) {
+  const char* dir = std::getenv("PAINTER_REPORT_DIR");
+  std::string path = dir != nullptr ? std::string{dir} + "/" : std::string{};
+  path += "BENCH_" + name + ".json";
+  return path;
+}
 
 // The Internet is heap-allocated because the resolver/oracle hold pointers
 // into it; moving a BenchWorld must not relocate it.

@@ -10,6 +10,7 @@
 #include "bench/bench_common.h"
 #include "bgpsim/dynamics.h"
 #include "bgpsim/session_sim.h"
+#include "obs/report.h"
 #include "tm/failover_scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -23,9 +24,20 @@ int main() {
       "needs ~1 s to regain reachability and ~15 s to converge; DNS needs a "
       "TTL (60 s).");
 
+  obs::RunReport report{"fig10_failover"};
+
   // --- Packet-level failover timeline. ---
   tm::FailoverScenarioConfig cfg;
+  report.SetSeed(cfg.edge.seed);
+  report.AddConfig("probe_interval_ms", cfg.edge.probe_interval_s * 1000.0);
+  report.AddConfig("path_rtt_ms", 2.0 * cfg.chosen_delay_s * 1000.0);
+  auto scenario_timer = std::make_unique<obs::RunReport::ScopedPhase>(
+      report, "failover_scenario");
   const auto result = tm::RunFailoverScenario(cfg);
+  scenario_timer.reset();
+  report.AddValue("detection_ms", result.detection_delay_s * 1000.0);
+  report.AddValue("detection_rtts", result.detection_delay_s /
+                                        (2.0 * cfg.chosen_delay_s));
 
   std::cout << "Tunnels:\n";
   for (std::size_t i = 0; i < result.tunnel_names.size(); ++i) {
@@ -60,15 +72,21 @@ int main() {
   // --- Detection-delay distribution over jittered trials (§5.2.3 text:
   // "typically detected failure within 1.3 RTTs"). ---
   std::vector<double> detections;
-  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    tm::FailoverScenarioConfig trial = cfg;
-    trial.run_for_s = 70.0;
-    trial.edge.seed = seed;
-    const auto r = tm::RunFailoverScenario(trial);
-    if (r.detection_delay_s >= 0) {
-      detections.push_back(r.detection_delay_s * 1000.0);
+  {
+    const obs::RunReport::ScopedPhase phase{report, "detection_trials"};
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      tm::FailoverScenarioConfig trial = cfg;
+      trial.run_for_s = 70.0;
+      trial.edge.seed = seed;
+      const auto r = tm::RunFailoverScenario(trial);
+      if (r.detection_delay_s >= 0) {
+        detections.push_back(r.detection_delay_s * 1000.0);
+      }
     }
   }
+  report.AddValue("trials.median_detection_ms", util::Median(detections));
+  report.AddValue("trials.p95_detection_ms",
+                  util::Percentile(detections, 95.0));
   const double rtt_ms = 2.0 * cfg.chosen_delay_s * 1000.0;
   std::cout << "\nDetection delay over " << detections.size()
             << " trials: median " << util::Table::Num(util::Median(detections), 1)
@@ -92,9 +110,13 @@ int main() {
   }
   bgpsim::BgpEngine engine{w.internet().graph};
   util::Rng rng{7};
+  auto churn_timer = std::make_unique<obs::RunReport::ScopedPhase>(
+      report, "withdrawal_churn");
   const auto trace = bgpsim::SimulateWithdrawal(
       engine, before, after, w.deployment->ugs().front().as,
       bgpsim::ConvergenceParams{}, rng);
+  churn_timer.reset();
+  report.AddValue("anycast_converged_s", trace.converged_seconds);
 
   // Bin updates per 2 s window.
   std::cout << "\nBGP updates after withdrawal (RIPE-RIS-style churn):\n";
@@ -120,6 +142,7 @@ int main() {
   // WITHDRAW processing with Adj-RIB-In, loop prevention, and MRAI pacing
   // (bgpsim::MessageLevelSim, cross-validated against the static engine). ---
   {
+    const obs::RunReport::ScopedPhase phase{report, "message_level_replay"};
     netsim::Simulator bgp_sim;
     bgpsim::MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(),
                                  bgp_sim,
@@ -167,6 +190,9 @@ int main() {
     std::cout << "\nMessage-level BGP replay of the withdrawal (UPDATE/"
                  "WITHDRAW with MRAI pacing):\n";
     mchurn.Print(std::cout);
+    report.AddValue("bgp_messages_processed",
+                    static_cast<double>(msim.MessagesProcessed()));
+    report.AddValue("bgp_quiet_after_s", last - t0);
     std::cout << "Messages processed during reconvergence: "
               << msim.MessagesProcessed() << "; quiet after "
               << util::Table::Num(last - t0, 1)
@@ -180,5 +206,7 @@ int main() {
             << " ms | anycast ~" << util::Table::Num(
                    cfg.anycast_unreachable_s * 1000.0, 0)
             << " ms | DNS ~60000 ms (TTL).\n";
+  report.AttachMetrics();
+  report.Write(bench::ReportPath("fig10_failover"));
   return 0;
 }

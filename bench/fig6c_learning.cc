@@ -10,9 +10,11 @@
 // this bench raises the exit-quirk rate: a quarter of (entry AS, metro)
 // pairs route to a non-nearest PoP the model cannot know a priori.
 #include <iostream>
+#include <string>
 
 #include "bench/strategy_eval.h"
 #include "core/sim_environment.h"
+#include "obs/report.h"
 #include "util/table.h"
 
 int main() {
@@ -22,6 +24,11 @@ int main() {
       std::cout, "Figure 6c",
       "Learning iterations: realized benefit climbs and prediction error "
       "shrinks as routing surprises are observed (high-quirk prototype).");
+
+  obs::RunReport report{"fig6c_learning"};
+  report.SetSeed(202);  // PrototypeWorld's seed
+  report.AddConfig("exit_quirk_rate", 0.25);
+  report.AddConfig("max_learning_iterations", 6.0);
 
   auto w = bench::PrototypeWorld();
   // A surprise-rich routing environment, resolved consistently everywhere.
@@ -39,6 +46,8 @@ int main() {
     ocfg.learning_stop_frac = -1.0;  // run all iterations for the figure
     core::Orchestrator orch{instance, ocfg};
     core::SimEnvironment env{resolver, *w.oracle, util::Rng{31}};
+    const obs::RunReport::ScopedPhase phase{
+        report, "learn_budget_" + std::to_string(budget)};
     const auto reports = orch.Learn(env);
 
     std::cout << "Budget " << budget << " prefixes:\n";
@@ -56,6 +65,12 @@ int main() {
     table.Print(std::cout);
     const auto& first = reports.front();
     const auto& last = reports.back();
+    const std::string key = "budget" + std::to_string(budget);
+    report.AddValue(key + ".final_realized_ms", last.realized_ms);
+    report.AddValue(key + ".learning_gain_ms",
+                    last.realized_ms - first.realized_ms);
+    report.AddValue(key + ".final_prediction_error_ms",
+                    last.predicted.mean_ms - last.realized_ms);
     std::cout << "Learning gain: "
               << util::Table::Num(last.realized_ms - first.realized_ms, 2)
               << " ms realized; prediction error "
@@ -75,5 +90,9 @@ int main() {
   const auto frozen = no_learn.Learn(env);
   std::cout << "Ablation (learning off, budget 15): realized stays at "
             << util::Table::Num(frozen.back().realized_ms, 2) << " ms.\n";
+  report.AddValue("ablation.no_learning_realized_ms",
+                  frozen.back().realized_ms);
+  report.AttachMetrics();
+  report.Write(bench::ReportPath("fig6c_learning"));
   return 0;
 }

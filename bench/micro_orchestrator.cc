@@ -7,10 +7,15 @@
 // having paths via a small fraction of ingresses.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench/bench_common.h"
 #include "core/evaluate.h"
 #include "core/orchestrator.h"
 #include "core/problem.h"
+#include "obs/report.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -111,6 +116,83 @@ void BM_PredictBenefit(benchmark::State& state) {
 BENCHMARK(BM_PredictBenefit)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// One timed pass over the serial/parallel orchestrator paths, written as a
+// painter.bench.v1 report (BENCH_orchestrator.json). Unlike the
+// google-benchmark numbers above (human-readable, statistical), this is the
+// machine-readable artifact CI diffs across commits.
+void WriteRunReport() {
+  constexpr std::size_t kStubs = 600;
+  constexpr std::size_t kBudget = 5;
+  // At least 2 so the parallel path (and the pool's queue-wait telemetry) is
+  // exercised even on single-core machines; on real hardware, all cores.
+  const std::size_t threads =
+      std::max<std::size_t>(2, util::EffectiveThreads(0));
+
+  obs::RunReport report{"orchestrator"};
+  report.SetSeed(900 + kStubs);
+  report.AddConfig("stubs", static_cast<double>(kStubs));
+  report.AddConfig("prefix_budget", static_cast<double>(kBudget));
+  report.AddConfig("threads", static_cast<double>(threads));
+
+  const core::ProblemInstance* inst = nullptr;
+  {
+    const obs::RunReport::ScopedPhase phase{report, "build_world"};
+    inst = &SharedInstance(kStubs);
+  }
+
+  auto time_compute = [&](std::size_t num_threads, const char* phase_name) {
+    core::OrchestratorConfig cfg;
+    cfg.prefix_budget = kBudget;
+    cfg.num_threads = num_threads;
+    const auto start = std::chrono::steady_clock::now();
+    core::Orchestrator orch{*inst, cfg};
+    const auto config = orch.ComputeConfig();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    report.AddPhaseMs(phase_name, ms);
+    benchmark::DoNotOptimize(config);
+    return ms;
+  };
+  const double compute_serial_ms = time_compute(1, "compute_serial");
+  const double compute_parallel_ms = time_compute(threads, "compute_parallel");
+
+  auto time_predict = [&](std::size_t num_threads, const char* phase_name) {
+    core::OrchestratorConfig cfg;
+    cfg.prefix_budget = kBudget;
+    core::Orchestrator orch{*inst, cfg};
+    const auto config = orch.ComputeConfig();
+    const core::RoutingModel model{inst->UgCount()};
+    const auto start = std::chrono::steady_clock::now();
+    const auto pred =
+        core::PredictBenefit(*inst, model, config, {}, num_threads);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+    report.AddPhaseMs(phase_name, ms);
+    benchmark::DoNotOptimize(pred);
+    return ms;
+  };
+  const double predict_serial_ms = time_predict(1, "predict_serial");
+  const double predict_parallel_ms = time_predict(threads, "predict_parallel");
+
+  if (compute_parallel_ms > 0.0) {
+    report.AddValue("compute_speedup", compute_serial_ms / compute_parallel_ms);
+  }
+  if (predict_parallel_ms > 0.0) {
+    report.AddValue("predict_speedup", predict_serial_ms / predict_parallel_ms);
+  }
+  report.AttachMetrics();
+  report.Write(bench::ReportPath("orchestrator"));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteRunReport();
+  return 0;
+}

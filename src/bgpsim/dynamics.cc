@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace painter::bgpsim {
 namespace {
 
@@ -35,6 +38,7 @@ ConvergenceTrace SimulateWithdrawal(const BgpEngine& engine,
                                     util::AsId observer,
                                     const ConvergenceParams& params,
                                     util::Rng& rng) {
+  const obs::TraceSpan span{"bgpsim.SimulateWithdrawal"};
   const topo::AsGraph& g = engine.graph();
   const RoutingOutcome before = engine.Propagate(before_ann);
   const RoutingOutcome after = engine.Propagate(after_ann);
@@ -49,6 +53,13 @@ ConvergenceTrace SimulateWithdrawal(const BgpEngine& engine,
 
   const std::vector<util::AsId> affected =
       AffectedAses(g, before, lost_direct);
+
+  static obs::Counter& simulations =
+      obs::Metrics().GetCounter("bgpsim.convergence.simulations");
+  static obs::Counter& affected_ases =
+      obs::Metrics().GetCounter("bgpsim.convergence.affected_ases");
+  simulations.Add();
+  affected_ases.Add(affected.size());
 
   ConvergenceTrace trace;
 
@@ -84,6 +95,9 @@ ConvergenceTrace SimulateWithdrawal(const BgpEngine& engine,
             [](const UpdateEvent& a, const UpdateEvent& b) {
               return a.time_seconds < b.time_seconds;
             });
+  static obs::Counter& update_waves =
+      obs::Metrics().GetCounter("bgpsim.convergence.update_waves");
+  update_waves.Add(trace.events.size());
 
   // Observer reachability: unreachable from the withdrawal until the wave of
   // withdrawals reaches it AND it selects its post-withdrawal route. If its

@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace painter::bgpsim {
 
 bool Preferred(const Route& a, const Route& b) {
@@ -60,6 +62,11 @@ BgpEngine::Rel BgpEngine::RelOf(util::AsId a, util::AsId b) const {
 }
 
 RoutingOutcome BgpEngine::Propagate(const Announcement& ann) const {
+  // Sharded counter: Propagate runs from ParallelFor workers during ingress
+  // resolution, so this must not contend on a shared cell.
+  static obs::Counter& propagations =
+      obs::Metrics().GetCounter("bgpsim.propagations");
+  propagations.Add();
   const topo::AsGraph& g = *graph_;
   RoutingOutcome out{g.size(), ann.origin};
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace painter::bgpsim {
 namespace {
 
@@ -88,6 +90,9 @@ void MessageLevelSim::SendMessage(util::AsId from, util::AsId to,
 void MessageLevelSim::Receive(util::AsId self, util::AsId from,
                               std::optional<PathRoute> route) {
   ++processed_;
+  static obs::Counter& messages =
+      obs::Metrics().GetCounter("bgpsim.session.messages_processed");
+  messages.Add();
   Node& node = nodes_[self.value()];
 
   if (route.has_value()) {
@@ -136,13 +141,21 @@ void MessageLevelSim::Reselect(util::AsId self) {
   }
 
   // Withdrawals are not MRAI-delayed (RFC 4271 §9.2.1.1): any neighbor that
-  // can no longer receive our route hears about it immediately.
+  // can no longer receive our route hears about it immediately. Iterate in
+  // sorted neighbor order, not hash order: each SendMessage draws jitter from
+  // the shared RNG, so the send order is part of the deterministic event
+  // schedule (DESIGN.md determinism rule).
+  std::vector<std::uint32_t> advertised_neighbors;
+  advertised_neighbors.reserve(node.advertised_to.size());
+  for (const auto& [neighbor, was_advertised] : node.advertised_to) {
+    if (was_advertised) advertised_neighbors.push_back(neighbor);
+  }
+  std::sort(advertised_neighbors.begin(), advertised_neighbors.end());
   std::size_t withdrawals = 0;
-  for (auto& [neighbor, was_advertised] : node.advertised_to) {
-    if (!was_advertised) continue;
+  for (const std::uint32_t neighbor : advertised_neighbors) {
     if (!node.has_best || !ShouldExport(self, util::AsId{neighbor})) {
       SendMessage(self, util::AsId{neighbor}, std::nullopt);
-      was_advertised = false;
+      node.advertised_to[neighbor] = false;
       ++withdrawals;
     }
   }

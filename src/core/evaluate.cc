@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace painter::core {
@@ -13,6 +15,9 @@ Orchestrator::Prediction PredictBenefit(const ProblemInstance& instance,
                                         const AdvertisementConfig& config,
                                         const ExpectationParams& params,
                                         std::size_t num_threads) {
+  static obs::Counter& predictions =
+      obs::Metrics().GetCounter("evaluator.predict.calls");
+  predictions.Add();
   Orchestrator::Prediction pred;
   if (instance.total_weight == 0.0) return pred;
 
@@ -83,10 +88,13 @@ GroundTruthEvaluator::GroundTruthEvaluator(
 }
 
 void GroundTruthEvaluator::SetConfig(const AdvertisementConfig& config) {
+  static obs::Counter& resolves =
+      obs::Metrics().GetCounter("evaluator.gt.prefix_resolves");
   prefix_ingress_.clear();
   prefix_ingress_.reserve(config.PrefixCount());
   for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
     prefix_ingress_.push_back(resolver_->Resolve(config.Sessions(p)));
+    resolves.Add();
   }
 }
 
@@ -100,6 +108,10 @@ double GroundTruthEvaluator::RttOf(std::uint32_t u, int prefix,
 }
 
 double GroundTruthEvaluator::MeanImprovementMs(int day) const {
+  static obs::Counter& passes =
+      obs::Metrics().GetCounter("evaluator.gt.passes");
+  passes.Add();
+  const obs::TraceSpan span{"evaluator.gt.MeanImprovementMs"};
   // Per-UG terms are staged and reduced in UG order (bit-identical to the
   // serial loop); all shared state (resolved ingresses, the oracle) is
   // read-only here.
@@ -136,6 +148,10 @@ double GroundTruthEvaluator::MeanImprovementMs(int day) const {
 }
 
 double GroundTruthEvaluator::PositiveMeanImprovementMs(int day) const {
+  static obs::Counter& passes =
+      obs::Metrics().GetCounter("evaluator.gt.passes");
+  passes.Add();
+  const obs::TraceSpan span{"evaluator.gt.PositiveMeanImprovementMs"};
   const auto& ugs = deployment_->ugs();
   struct Term {
     double acc = 0.0;
@@ -269,6 +285,14 @@ double EvaluateDnsSteering(const ProblemInstance& instance,
                            const DnsSteeringInput& dns,
                            std::size_t num_threads) {
   if (instance.total_weight == 0.0) return 0.0;
+  const obs::TraceSpan span{"evaluator.dns.EvaluateDnsSteering"};
+  static obs::Counter& dns_passes =
+      obs::Metrics().GetCounter("evaluator.dns.passes");
+  static obs::Counter& dns_cells =
+      obs::Metrics().GetCounter("evaluator.dns.matrix_cells");
+  dns_passes.Add();
+  dns_cells.Add(static_cast<std::uint64_t>(instance.UgCount()) *
+                config.PrefixCount());
   const std::size_t n_resolvers = dns.resolver_supports_ecs.size();
 
   // Modeled RTT per (UG, prefix). There is no anycast column: a UG falls

@@ -1,17 +1,47 @@
 #include "core/orchestrator.h"
 
 #include "core/evaluate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <string>
 
 namespace painter::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Orchestrator telemetry (README "Observability"). Counter values are
+// workload-determined — identical at any thread count, since the greedy
+// schedule itself is (see the fixed-order reduction notes below).
+struct OrchestratorMetrics {
+  obs::Counter& celf_evals =
+      obs::Metrics().GetCounter("orchestrator.celf.evaluations");
+  obs::Counter& celf_stale_reevals =
+      obs::Metrics().GetCounter("orchestrator.celf.stale_reevals");
+  obs::Counter& celf_commits =
+      obs::Metrics().GetCounter("orchestrator.celf.commits");
+  obs::Counter& reuse_accepts =
+      obs::Metrics().GetCounter("orchestrator.reuse.accepts");
+  obs::Counter& reuse_rejects =
+      obs::Metrics().GetCounter("orchestrator.reuse.rejects");
+  obs::Counter& prefixes_allocated =
+      obs::Metrics().GetCounter("orchestrator.prefixes.allocated");
+  obs::Counter& learn_iterations =
+      obs::Metrics().GetCounter("orchestrator.learn.iterations");
+  obs::Counter& observations =
+      obs::Metrics().GetCounter("orchestrator.model.observations");
+
+  static OrchestratorMetrics& Get() {
+    static OrchestratorMetrics m;
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -20,6 +50,8 @@ Orchestrator::Orchestrator(const ProblemInstance& instance,
     : instance_(&instance), config_(config), model_(instance.UgCount()) {}
 
 AdvertisementConfig Orchestrator::ComputeConfig() const {
+  const obs::TraceSpan span{"orchestrator.ComputeConfig"};
+  OrchestratorMetrics& metrics = OrchestratorMetrics::Get();
   const ProblemInstance& inst = *instance_;
   const ExpectationParams params = config_.Expectation();
   const std::size_t n_ug = inst.UgCount();
@@ -55,6 +87,7 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
     // a UG's expectation on this prefix — a second-order effect the lazy
     // schedule may miss; Algorithm 1 is a greedy heuristic either way.)
     auto marginal_of = [&](util::PeeringId gid) {
+      metrics.celf_evals.Add();  // sharded: safe from the concurrent scan
       // Scratch reused across calls; thread_local so the concurrent seeding
       // scan below can evaluate marginals on pool workers without sharing.
       thread_local std::vector<const IngressOption*> trial;
@@ -114,11 +147,19 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
         continue;
       }
       if (top.round != round) {
+        metrics.celf_stale_reevals.Add();
         const double fresh = marginal_of(top.peering);
-        if (fresh > 0.0) heap.push(Scored{fresh, round, top.peering});
+        if (fresh > 0.0) {
+          heap.push(Scored{fresh, round, top.peering});
+        } else if (!sessions.empty()) {
+          // A reuse candidate whose refreshed marginal no longer helps.
+          metrics.reuse_rejects.Add();
+        }
         continue;
       }
       // Fresh and at the top: this is the argmax. Commit it.
+      metrics.celf_commits.Add();
+      if (!sessions.empty()) metrics.reuse_accepts.Add();
       ++round;
       sessions.insert(
           std::lower_bound(sessions.begin(), sessions.end(), top.peering),
@@ -133,11 +174,20 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
     }
 
     if (sessions.empty()) break;  // no peering helps; further prefixes won't
+    metrics.prefixes_allocated.Add();
     cc.AddPrefix(sessions);
     for (std::uint32_t u = 0; u < n_ug; ++u) {
       base_best[u] = std::min(base_best[u], cur_e[u]);
     }
   }
+  // Prefix-budget consumption: the greedy pass stops early when no peering
+  // adds benefit, so used < budget is a signal the budget is oversized.
+  static obs::Gauge& budget_used =
+      obs::Metrics().GetGauge("orchestrator.prefix_budget.used");
+  static obs::Gauge& budget_total =
+      obs::Metrics().GetGauge("orchestrator.prefix_budget.total");
+  budget_used.Set(static_cast<double>(cc.PrefixCount()));
+  budget_total.Set(static_cast<double>(config_.prefix_budget));
   return cc;
 }
 
@@ -172,6 +222,8 @@ void Orchestrator::Absorb(
     const AdvertisementConfig& config,
     const std::vector<AdvertisementEnvironment::PrefixObservation>&
         observations) {
+  const obs::TraceSpan span{"orchestrator.Absorb"};
+  std::size_t absorbed = 0;
   const ProblemInstance& inst = *instance_;
   std::vector<util::PeeringId> candidates;
   for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
@@ -192,22 +244,34 @@ void Orchestrator::Absorb(
       }
       model_.ObservePreference(u, *ingress, candidates);
       model_.ObserveLatency(u, *ingress, obs.rtt_ms_of_ug.at(u));
+      ++absorbed;
     }
   }
+  OrchestratorMetrics::Get().observations.Add(absorbed);
 }
 
 std::vector<Orchestrator::IterationReport> Orchestrator::Learn(
     AdvertisementEnvironment& env) {
+  const obs::TraceSpan learn_span{"orchestrator.Learn"};
+  OrchestratorMetrics& metrics = OrchestratorMetrics::Get();
   const ProblemInstance& inst = *instance_;
   std::vector<IterationReport> reports;
 
   for (std::size_t iter = 0; iter < config_.max_learning_iterations; ++iter) {
+    const obs::TraceSpan iter_span{"orchestrator.learn.iteration"};
+    metrics.learn_iterations.Add();
     IterationReport report;
     report.config = ComputeConfig();
-    report.predicted = Predict(report.config);
+    {
+      const obs::TraceSpan predict_span{"orchestrator.Predict"};
+      report.predicted = Predict(report.config);
+    }
     report.prefixes_used = report.config.NonEmptyPrefixCount();
 
-    const auto observations = env.Execute(report.config);
+    const auto observations = [&] {
+      const obs::TraceSpan exec_span{"environment.Execute"};
+      return env.Execute(report.config);
+    }();
 
     // Realized benefit: each UG's Traffic Manager measures all prefixes it
     // can reach and steers to the best, with anycast as the floor option.
@@ -231,7 +295,25 @@ std::vector<Orchestrator::IterationReport> Orchestrator::Learn(
     report.realized_ms = inst.total_weight == 0 ? 0 : acc / inst.total_weight;
     report.realized_positive_ms = w_pos == 0 ? 0 : acc_pos / w_pos;
 
+    // Per-iteration telemetry (Fig. 6c's learning curve, as metrics): the
+    // predicted-vs-realized gap is the model error learning drives down.
+    // These values come from the seeded simulation, so they are reproducible
+    // and land in the deterministic section of the metrics export.
+    const std::string prefix =
+        "orchestrator.learn.iter" + std::to_string(iter) + ".";
+    obs::Metrics().GetGauge(prefix + "predicted_mean_ms")
+        .Set(report.predicted.mean_ms);
+    obs::Metrics().GetGauge(prefix + "realized_ms").Set(report.realized_ms);
+    obs::Metrics().GetGauge(prefix + "realized_positive_ms")
+        .Set(report.realized_positive_ms);
+    obs::Metrics().GetGauge(prefix + "prefixes_used")
+        .Set(static_cast<double>(report.prefixes_used));
+
     if (config_.enable_learning) Absorb(report.config, observations);
+
+    // Pairwise preferences learned per round (cumulative after this absorb).
+    obs::Metrics().GetGauge(prefix + "preferences_total")
+        .Set(static_cast<double>(model_.PreferenceCount()));
     reports.push_back(std::move(report));
     if (!config_.enable_learning) break;
 

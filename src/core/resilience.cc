@@ -174,7 +174,18 @@ std::vector<UgResilience> ResilienceAnalyzer::AnalyzeAll() const {
       }
     }
   }
+  // Iterate neighbors in sorted id order, not hash order, so the max-fold
+  // below (and any instrumentation of Propagate) runs in a reproducible
+  // sequence regardless of the hash function.
+  std::vector<util::AsId> neighbor_order;
+  neighbor_order.reserve(ugs_of_neighbor.size());
   for (const auto& [neighbor, members] : ugs_of_neighbor) {
+    neighbor_order.push_back(neighbor);
+  }
+  std::sort(neighbor_order.begin(), neighbor_order.end(),
+            [](util::AsId a, util::AsId b) { return a.value() < b.value(); });
+  for (const util::AsId neighbor : neighbor_order) {
+    const std::vector<util::UgId>& members = ugs_of_neighbor.at(neighbor);
     const bgpsim::Announcement ann{.prefix = util::PrefixId{0},
                                    .origin = deployment_->cloud_as(),
                                    .to_neighbors = {neighbor}};

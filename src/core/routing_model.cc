@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace painter::core {
 namespace {
 
@@ -18,10 +20,12 @@ RoutingModel::RoutingModel(std::size_t ug_count)
 void RoutingModel::ObservePreference(
     std::uint32_t ug, util::PeeringId chosen,
     std::span<const util::PeeringId> candidates) {
+  static obs::Counter& learned =
+      obs::Metrics().GetCounter("model.preferences_learned");
   auto& set = prefers_.at(ug);
   for (util::PeeringId other : candidates) {
     if (other == chosen) continue;
-    set.insert(PairKey(chosen, other));
+    if (set.insert(PairKey(chosen, other)).second) learned.Add();
     // Observations are ground truth; retract any stale opposite belief.
     set.erase(PairKey(other, chosen));
   }
@@ -29,6 +33,9 @@ void RoutingModel::ObservePreference(
 
 void RoutingModel::ObserveLatency(std::uint32_t ug, util::PeeringId ingress,
                                   double rtt_ms) {
+  static obs::Counter& observed =
+      obs::Metrics().GetCounter("model.rtt_observations");
+  observed.Add();
   measured_.at(ug)[ingress.value()] = rtt_ms;
 }
 

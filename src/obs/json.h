@@ -1,0 +1,134 @@
+// Minimal streaming JSON writer shared by the observability sinks (metrics
+// export, trace events, bench run reports).
+//
+// Deliberately tiny: objects/arrays are emitted in the order the caller walks
+// them, keys are escaped, and doubles print with max_digits10 so a value
+// round-trips exactly — two runs that compute the same doubles produce
+// byte-identical JSON, which the determinism tests rely on.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace painter::obs {
+
+inline void WriteJsonEscaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Formats a double deterministically. Non-finite values are not valid JSON;
+// they are emitted as quoted strings ("inf", "-inf", "nan") so a report can
+// still record them.
+inline void WriteJsonNumber(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << (std::isnan(v) ? "\"nan\"" : (v > 0 ? "\"inf\"" : "\"-inf\""));
+    return;
+  }
+  // Integral doubles print without an exponent or trailing ".0" noise.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+// Nesting-aware writer: tracks whether a comma is due before the next
+// element. Usage:
+//   JsonWriter w{os};
+//   w.BeginObject();
+//   w.Key("name"); w.String("x");
+//   w.Key("values"); w.BeginArray(); w.Number(1); w.Number(2); w.EndArray();
+//   w.EndObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  void BeginObject() {
+    Separate();
+    *os_ << '{';
+    stack_.push_back(false);
+  }
+  void EndObject() {
+    stack_.pop_back();
+    *os_ << '}';
+  }
+  void BeginArray() {
+    Separate();
+    *os_ << '[';
+    stack_.push_back(false);
+  }
+  void EndArray() {
+    stack_.pop_back();
+    *os_ << ']';
+  }
+  void Key(std::string_view k) {
+    Separate();
+    *os_ << '"';
+    WriteJsonEscaped(*os_, k);
+    *os_ << "\":";
+    pending_value_ = true;
+  }
+  void String(std::string_view v) {
+    Separate();
+    *os_ << '"';
+    WriteJsonEscaped(*os_, v);
+    *os_ << '"';
+  }
+  void Number(double v) {
+    Separate();
+    WriteJsonNumber(*os_, v);
+  }
+  void Number(std::uint64_t v) {
+    Separate();
+    *os_ << v;
+  }
+  void Bool(bool v) {
+    Separate();
+    *os_ << (v ? "true" : "false");
+  }
+
+ private:
+  // Emits the comma owed before a new element, unless this element is the
+  // value belonging to a just-written key.
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) *os_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  std::ostream* os_;
+  std::vector<bool> stack_;  // per level: "an element was already written"
+  bool pending_value_ = false;
+};
+
+}  // namespace painter::obs

@@ -1,0 +1,160 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace painter::obs {
+namespace {
+
+// 0 = uninitialized (environment not yet consulted), 1 = disabled,
+// 2 = enabled. Span constructors read this with a relaxed load; transitions
+// happen under g_mu.
+std::atomic<int> g_state{0};
+
+std::mutex g_mu;
+std::ofstream* g_file = nullptr;  // non-null iff state == 2
+bool g_first_event = true;
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Stable small thread ids for the `tid` field, assigned on first emission.
+std::uint32_t LocalTid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+// Must be called with g_mu held and g_file open.
+void FinalizeLocked() {
+  *g_file << "\n]\n";
+  g_file->close();
+  delete g_file;
+  g_file = nullptr;
+  g_first_event = true;
+  g_state.store(1, std::memory_order_release);
+}
+
+void EmitLocked(const char* name, const char* cat, const char* ph,
+                double ts_us, double dur_us) {
+  if (g_file == nullptr) return;
+  *g_file << (g_first_event ? "\n" : ",\n");
+  g_first_event = false;
+  JsonWriter w{*g_file};
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.Key("cat");
+  w.String(cat);
+  w.Key("ph");
+  w.String(ph);
+  w.Key("pid");
+  w.Number(std::uint64_t{1});
+  w.Key("tid");
+  w.Number(static_cast<std::uint64_t>(LocalTid()));
+  w.Key("ts");
+  w.Number(ts_us);
+  if (ph[0] == 'X') {
+    w.Key("dur");
+    w.Number(dur_us);
+  } else if (ph[0] == 'i') {
+    w.Key("s");
+    w.String("t");  // instant scope: thread
+  }
+  w.EndObject();
+}
+
+void InitFromEnvOnce() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    ProcessEpoch();  // pin the epoch early
+    if (const char* path = std::getenv("PAINTER_TRACE");
+        path != nullptr && path[0] != '\0') {
+      TraceSink::Enable(path);
+    } else {
+      g_state.store(1, std::memory_order_release);
+    }
+  });
+}
+
+}  // namespace
+
+bool TraceSink::Enabled() {
+  int s = g_state.load(std::memory_order_relaxed);
+  if (s == 0) {
+    InitFromEnvOnce();
+    s = g_state.load(std::memory_order_relaxed);
+  }
+  return s == 2;
+}
+
+double TraceSink::NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+void TraceSink::Enable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_file != nullptr) FinalizeLocked();
+  auto* file = new std::ofstream(path, std::ios::trunc);
+  if (!*file) {
+    delete file;
+    g_state.store(1, std::memory_order_release);
+    return;
+  }
+  g_file = file;
+  g_first_event = true;
+  *g_file << '[';
+  g_state.store(2, std::memory_order_release);
+  // Finalize on exit so an un-Disabled trace is still a valid JSON array.
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    atexit_registered = true;
+    std::atexit([] { TraceSink::Disable(); });
+  }
+}
+
+void TraceSink::Disable() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_file != nullptr) FinalizeLocked();
+  if (g_state.load(std::memory_order_relaxed) == 0) {
+    g_state.store(1, std::memory_order_release);
+  }
+}
+
+void TraceSink::Emit(const char* name, const char* cat, double ts_us,
+                     double dur_us) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  EmitLocked(name, cat, "X", ts_us, dur_us);
+}
+
+void TraceSink::Instant(const char* name, const char* cat) {
+  const double now = NowUs();
+  std::lock_guard<std::mutex> lock(g_mu);
+  EmitLocked(name, cat, "i", now, 0.0);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat) {
+  if (!TraceSink::Enabled()) return;
+  active_ = true;
+  start_us_ = TraceSink::NowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  // Re-check: tracing may have been disabled mid-span; Emit handles the
+  // closed-file case by dropping the event.
+  TraceSink::Emit(name_, cat_, start_us_, TraceSink::NowUs() - start_us_);
+}
+
+}  // namespace painter::obs

@@ -3,11 +3,14 @@
 #include <memory>
 
 #include "netsim/path.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace painter::tm {
 
 FailoverScenarioResult RunFailoverScenario(
     const FailoverScenarioConfig& config) {
+  const obs::TraceSpan span{"tm.RunFailoverScenario"};
   netsim::Simulator sim;
 
   TmPop pop_a{sim, "PoP-A", {0x02020202}};
@@ -91,6 +94,20 @@ FailoverScenarioResult RunFailoverScenario(
       break;
     }
   }
+
+  // Paper §5.2 frames detection latency in units of the dead path's RTT
+  // (2 × one-way delay); export both forms plus the switchover count.
+  obs::Metrics()
+      .GetGauge("tm.failover.detection_ms")
+      .Set(result.detection_delay_s * 1000.0);
+  if (config.chosen_delay_s > 0.0) {
+    obs::Metrics()
+        .GetGauge("tm.failover.detection_rtts")
+        .Set(result.detection_delay_s / (2.0 * config.chosen_delay_s));
+  }
+  obs::Metrics()
+      .GetGauge("tm.failover.switchovers")
+      .Set(static_cast<double>(result.failovers.size()));
   return result;
 }
 

@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace painter::tm {
+namespace {
+
+// TM telemetry. The event-driven simulator is single-threaded and seeded, so
+// every one of these counts is deterministic for a given scenario config.
+struct TmMetrics {
+  obs::Counter& probes_sent = obs::Metrics().GetCounter("tm.edge.probes_sent");
+  obs::Counter& probe_replies =
+      obs::Metrics().GetCounter("tm.edge.probe_replies");
+  obs::Counter& probe_timeouts =
+      obs::Metrics().GetCounter("tm.edge.probe_timeouts");
+  obs::Counter& tunnel_down_events =
+      obs::Metrics().GetCounter("tm.edge.tunnel_down_events");
+  obs::Counter& switchovers = obs::Metrics().GetCounter("tm.edge.switchovers");
+
+  static TmMetrics& Get() {
+    static TmMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 TmEdge::TmEdge(netsim::Simulator& sim, Config config,
                std::vector<TunnelConfig> tunnels)
@@ -83,6 +106,7 @@ void TmEdge::ProbeTunnel(std::size_t i) {
   Tunnel& tun = tunnels_[i];
   const std::uint64_t id = tun.next_probe_id++;
   tun.outstanding.emplace(id, sim_->Now());
+  TmMetrics::Get().probes_sent.Add();
 
   netsim::Packet probe;
   probe.kind = netsim::PacketKind::kProbe;
@@ -98,6 +122,7 @@ void TmEdge::OnProbeReply(std::size_t i, std::uint64_t probe_id) {
   Tunnel& tun = tunnels_[i];
   const auto it = tun.outstanding.find(probe_id);
   if (it == tun.outstanding.end()) return;  // already timed out
+  TmMetrics::Get().probe_replies.Add();
   const double rtt = sim_->Now() - it->second;
   tun.outstanding.erase(it);
 
@@ -119,9 +144,11 @@ void TmEdge::OnProbeTimeout(std::size_t i, std::uint64_t probe_id) {
   Tunnel& tun = tunnels_[i];
   const auto it = tun.outstanding.find(probe_id);
   if (it == tun.outstanding.end()) return;  // answered in time
+  TmMetrics::Get().probe_timeouts.Add();
   tun.outstanding.erase(it);
   if (tun.up) {
     tun.up = false;
+    TmMetrics::Get().tunnel_down_events.Add();
     if (chosen_ == static_cast<int>(i)) Reselect();
   }
 }
@@ -145,6 +172,7 @@ void TmEdge::Reselect() {
     const double margin_s = config_.switch_hysteresis_ms / 1000.0;
     if (tunnels_[chosen_].rtt_ewma_s - best_rtt < margin_s) return;
   }
+  TmMetrics::Get().switchovers.Add();
   failovers_.push_back(FailoverEvent{sim_->Now(), chosen_, best});
   chosen_ = best;
 }

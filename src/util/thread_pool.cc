@@ -2,9 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
+
 namespace painter::util {
+namespace {
+
+// Pool telemetry (README "Observability"): how many tasks ran, and how long
+// each sat in the queue between Submit and dequeue. Queue waits are
+// wall-clock — the histogram is registered wall_clock so run-diffing tools
+// strip its value fields; the task *count* is workload-determined and stays
+// comparable across runs.
+obs::Counter& TasksCounter() {
+  static obs::Counter& c = obs::Metrics().GetCounter("threadpool.tasks");
+  return c;
+}
+
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h = obs::Metrics().GetHistogram(
+      "threadpool.queue_wait_us",
+      obs::HistogramSpec{.min_bound = 1.0,
+                         .growth = 4.0,
+                         .buckets = 16,
+                         .wall_clock = true});
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
@@ -23,9 +49,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Wrap to measure queue wait (enqueue -> dequeue) at execution time.
+  const auto enqueued = std::chrono::steady_clock::now();
+  auto timed = [task = std::move(task), enqueued] {
+    const auto waited = std::chrono::steady_clock::now() - enqueued;
+    QueueWaitHistogram().Record(
+        std::chrono::duration<double, std::micro>(waited).count());
+    TasksCounter().Add();
+    task();
+  };
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(timed));
   }
   cv_.notify_one();
 }
@@ -103,6 +138,13 @@ void ParallelFor(std::size_t num_threads, std::size_t begin, std::size_t end,
   if (grain == 0) grain = 1;
   const std::size_t chunk_count = (end - begin + grain - 1) / grain;
   const std::size_t effective = EffectiveThreads(num_threads);
+
+  static obs::Counter& pf_calls =
+      obs::Metrics().GetCounter("threadpool.parallel_for.calls");
+  static obs::Counter& pf_chunks =
+      obs::Metrics().GetCounter("threadpool.parallel_for.chunks");
+  pf_calls.Add();
+  pf_chunks.Add(chunk_count);
 
   if (effective <= 1 || chunk_count <= 1) {
     // Serial path: same chunk boundaries, executed in order, inline.

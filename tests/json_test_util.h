@@ -1,0 +1,238 @@
+// Minimal recursive-descent JSON parser for tests that validate the
+// observability layer's emitted documents (metrics snapshots, run reports,
+// Chrome trace files). Test-only: strict enough to reject malformed output,
+// small enough to avoid a third-party dependency.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace painter::test {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v = nullptr;
+
+  [[nodiscard]] bool IsObject() const {
+    return std::holds_alternative<JsonObject>(v);
+  }
+  [[nodiscard]] bool IsArray() const {
+    return std::holds_alternative<JsonArray>(v);
+  }
+  [[nodiscard]] bool IsNumber() const {
+    return std::holds_alternative<double>(v);
+  }
+  [[nodiscard]] bool IsString() const {
+    return std::holds_alternative<std::string>(v);
+  }
+
+  [[nodiscard]] const JsonObject& AsObject() const {
+    return std::get<JsonObject>(v);
+  }
+  [[nodiscard]] const JsonArray& AsArray() const {
+    return std::get<JsonArray>(v);
+  }
+  [[nodiscard]] double AsNumber() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& AsString() const {
+    return std::get<std::string>(v);
+  }
+
+  // Object member access; throws if not an object or key absent.
+  [[nodiscard]] const JsonValue& At(const std::string& key) const {
+    const auto& obj = AsObject();
+    const auto it = obj.find(key);
+    if (it == obj.end()) {
+      throw std::out_of_range{"JSON key not found: " + key};
+    }
+    return it->second;
+  }
+  [[nodiscard]] bool Has(const std::string& key) const {
+    return IsObject() && AsObject().count(key) > 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) Fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error{"JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what};
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return JsonValue{ParseString()};
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') {
+      ParseLiteral("null");
+      return JsonValue{nullptr};
+    }
+    return ParseNumber();
+  }
+
+  void ParseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      Fail("bad literal");
+    }
+    pos_ += lit.size();
+  }
+
+  JsonValue ParseBool() {
+    if (Peek() == 't') {
+      ParseLiteral("true");
+      return JsonValue{true};
+    }
+    ParseLiteral("false");
+    return JsonValue{false};
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("bad number");
+    const std::string num{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double d = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) Fail("bad number: " + num);
+    return JsonValue{d};
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Tests only need ASCII round-tripping; decode the code unit and
+            // keep the low byte (the emitter only writes \u00XX for controls).
+            if (pos_ + 4 > text_.size()) Fail("bad \\u escape");
+            const std::string hex{text_.substr(pos_, 4)};
+            pos_ += 4;
+            out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default:
+            Fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonArray arr;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    for (;;) {
+      arr.push_back(ParseValue());
+      SkipWs();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return JsonValue{std::move(arr)};
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonObject obj;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    for (;;) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      obj.emplace(std::move(key), ParseValue());
+      SkipWs();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return JsonValue{std::move(obj)};
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline JsonValue ParseJson(std::string_view text) {
+  return JsonParser{text}.Parse();
+}
+
+}  // namespace painter::test

@@ -169,6 +169,73 @@ TEST(EmpiricalCdfTest, SeriesCoversRange) {
   EXPECT_DOUBLE_EQ(series.back().second, 1.0);
 }
 
+TEST(EmpiricalCdfTest, WeightedQuantile) {
+  // Quantile is the first sample whose cumulative weight reaches q * total:
+  // with (1, w=1) and (2, w=3), a quarter of the mass sits at 1.
+  EmpiricalCdf cdf;
+  cdf.Add(2.0, 3.0);
+  cdf.Add(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.26), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);  // smallest sample
+}
+
+TEST(EmpiricalCdfTest, QuantileOutOfRangeThrows) {
+  EmpiricalCdf cdf;
+  cdf.Add(1.0);
+  EXPECT_THROW((void)cdf.Quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)cdf.Quantile(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, SeriesEndpointsAreMinAndMax) {
+  EmpiricalCdf cdf;
+  cdf.Add(2.0);
+  cdf.Add(4.0);
+  cdf.Add(6.0);
+  cdf.Add(8.0);
+  const auto series = cdf.Series(4);
+  ASSERT_EQ(series.size(), 4u);
+  // First point sits at the minimum with that sample's own mass...
+  EXPECT_DOUBLE_EQ(series.front().first, 2.0);
+  EXPECT_DOUBLE_EQ(series.front().second, 0.25);
+  // ...and the last point closes the CDF at (max, 1.0).
+  EXPECT_DOUBLE_EQ(series.back().first, 8.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, SingleSample) {
+  EmpiricalCdf cdf;
+  cdf.Add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(4.9), 0.0);
+  const auto series = cdf.Series(10);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.front().first, 5.0);
+  EXPECT_DOUBLE_EQ(series.front().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, AllEqualSamplesCollapseToOnePoint) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 7; ++i) cdf.Add(3.0);
+  const auto series = cdf.Series(5);
+  ASSERT_EQ(series.size(), 1u);  // lo == hi: a single (value, 1.0) point
+  EXPECT_DOUBLE_EQ(series.front().first, 3.0);
+  EXPECT_DOUBLE_EQ(series.front().second, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 3.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyCdf) {
+  const EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.Series(5).empty());
+}
+
 TEST(Accumulator, TracksMinMeanMax) {
   Accumulator acc;
   acc.Add(2.0);

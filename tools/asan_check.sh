@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer job.
+#
+# Configures a dedicated build tree with -fsanitize=address,undefined, builds
+# the memory-heavy targets (the observability layer's sharded registry and
+# trace sink, the thread pool, and the orchestrator/evaluator paths that use
+# them), and runs their tests. Any heap error, leak, or UB report fails the
+# job.
+#
+# Usage: tools/asan_check.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+TESTS='obs_test|obs_integration_test|util_test|util_thread_pool_test|core_orchestrator_test|core_evaluate_test'
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$BUILD_DIR" -j \
+  --target obs_test obs_integration_test util_test util_thread_pool_test \
+  core_orchestrator_test core_evaluate_test
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "($TESTS)"
+echo "ASan+UBSan check passed: no memory errors or undefined behavior."

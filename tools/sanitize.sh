@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Single entry point for the sanitizer jobs.
+#
+#   tools/sanitize.sh tsan [build-dir]   # data races (tools/tsan_check.sh)
+#   tools/sanitize.sh asan [build-dir]   # memory errors + UB (tools/asan_check.sh)
+#   tools/sanitize.sh all                # both, in dedicated build trees
+set -euo pipefail
+cd "$(dirname "$0")"
+
+usage() {
+  echo "usage: tools/sanitize.sh [tsan|asan|all] [build-dir]" >&2
+  exit 2
+}
+
+[[ $# -ge 1 ]] || usage
+MODE="$1"
+shift
+
+case "$MODE" in
+  tsan) exec ./tsan_check.sh "$@" ;;
+  asan) exec ./asan_check.sh "$@" ;;
+  all)
+    # Each job keeps its own default build tree; a shared custom dir would
+    # mix incompatible sanitizer flags.
+    ./tsan_check.sh
+    ./asan_check.sh
+    ;;
+  *) usage ;;
+esac
