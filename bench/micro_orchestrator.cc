@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <string_view>
 
 #include "bench/bench_common.h"
 #include "core/evaluate.h"
@@ -68,15 +70,18 @@ void BM_Expectation(benchmark::State& state) {
 }
 BENCHMARK(BM_Expectation);
 
-// Args: {stub count, num_threads}. Compare rows at the same stub count to
-// read the serial-vs-parallel speedup of the CELF seeding scan (thread
-// count 1 forces the serial path; results are bit-identical either way —
-// see core_orchestrator_test's determinism checks).
+// Args: {stub count, num_threads, incremental_celf}. Compare rows at the
+// same stub count to read the serial-vs-parallel speedup of the CELF seeding
+// scan (thread count 1 forces the serial path) and the incremental-vs-naive
+// speedup of the CELF engine (last arg 0 disables the cross-round marginal
+// cache and the aggregate fast path). Results are bit-identical across every
+// row at the same stub count — see the golden-schedule and property tests.
 void BM_OrchestratorPerPrefix(benchmark::State& state) {
   const auto& inst = SharedInstance(static_cast<std::size_t>(state.range(0)));
   core::OrchestratorConfig cfg;
-  cfg.prefix_budget = 5;
+  cfg.prefix_budget = 8;
   cfg.num_threads = static_cast<std::size_t>(state.range(1));
+  cfg.incremental_celf = state.range(2) != 0;
   for (auto _ : state) {
     core::Orchestrator orch{inst, cfg};
     benchmark::DoNotOptimize(orch.ComputeConfig());
@@ -84,18 +89,21 @@ void BM_OrchestratorPerPrefix(benchmark::State& state) {
   state.counters["ugs"] = static_cast<double>(inst.UgCount());
   state.counters["sessions"] = static_cast<double>(inst.peering_count);
   state.counters["threads"] = static_cast<double>(cfg.num_threads);
+  state.counters["incremental"] = cfg.incremental_celf ? 1.0 : 0.0;
   state.counters["s_per_prefix"] = benchmark::Counter(
-      5.0, benchmark::Counter::kIsIterationInvariantRate |
+      8.0, benchmark::Counter::kIsIterationInvariantRate |
                benchmark::Counter::kInvert);
 }
 BENCHMARK(BM_OrchestratorPerPrefix)
-    ->Args({300, 1})
-    ->Args({600, 1})
-    ->Args({600, 2})
-    ->Args({600, 8})
-    ->Args({1200, 1})
-    ->Args({1200, 2})
-    ->Args({1200, 8})
+    ->Args({300, 1, 1})
+    ->Args({600, 1, 0})
+    ->Args({600, 1, 1})
+    ->Args({600, 2, 1})
+    ->Args({600, 8, 1})
+    ->Args({1200, 1, 0})
+    ->Args({1200, 1, 1})
+    ->Args({1200, 2, 1})
+    ->Args({1200, 8, 1})
     ->Unit(benchmark::kMillisecond);
 
 // Arg: num_threads for the per-UG prediction loop (1 = serial baseline).
@@ -116,19 +124,21 @@ void BM_PredictBenefit(benchmark::State& state) {
 BENCHMARK(BM_PredictBenefit)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-// One timed pass over the serial/parallel orchestrator paths, written as a
-// painter.bench.v1 report (BENCH_orchestrator.json). Unlike the
-// google-benchmark numbers above (human-readable, statistical), this is the
-// machine-readable artifact CI diffs across commits.
+// Timed passes over the orchestrator paths at the largest stub count,
+// written as a painter.bench.v1 report (BENCH_micro_orchestrator.json).
+// Unlike the google-benchmark numbers above (human-readable, statistical),
+// this is the machine-readable artifact tools/perf_check.sh diffs across
+// commits via tools/bench_compare.py. Each phase records the best of three
+// passes to damp scheduler noise.
 void WriteRunReport() {
-  constexpr std::size_t kStubs = 600;
-  constexpr std::size_t kBudget = 5;
+  constexpr std::size_t kStubs = 1200;
+  constexpr std::size_t kBudget = 8;
   // At least 2 so the parallel path (and the pool's queue-wait telemetry) is
   // exercised even on single-core machines; on real hardware, all cores.
   const std::size_t threads =
       std::max<std::size_t>(2, util::EffectiveThreads(0));
 
-  obs::RunReport report{"orchestrator"};
+  obs::RunReport report{"micro_orchestrator"};
   report.SetSeed(900 + kStubs);
   report.AddConfig("stubs", static_cast<double>(kStubs));
   report.AddConfig("prefix_budget", static_cast<double>(kBudget));
@@ -140,22 +150,31 @@ void WriteRunReport() {
     inst = &SharedInstance(kStubs);
   }
 
-  auto time_compute = [&](std::size_t num_threads, const char* phase_name) {
+  auto time_compute = [&](std::size_t num_threads, bool incremental,
+                          const char* phase_name) {
     core::OrchestratorConfig cfg;
     cfg.prefix_budget = kBudget;
     cfg.num_threads = num_threads;
-    const auto start = std::chrono::steady_clock::now();
-    core::Orchestrator orch{*inst, cfg};
-    const auto config = orch.ComputeConfig();
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    const double ms =
-        std::chrono::duration<double, std::milli>(elapsed).count();
-    report.AddPhaseMs(phase_name, ms);
-    benchmark::DoNotOptimize(config);
-    return ms;
+    cfg.incremental_celf = incremental;
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      core::Orchestrator orch{*inst, cfg};
+      const auto start = std::chrono::steady_clock::now();
+      const auto config = orch.ComputeConfig();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      best_ms = std::min(
+          best_ms, std::chrono::duration<double, std::milli>(elapsed).count());
+      benchmark::DoNotOptimize(config);
+    }
+    report.AddPhaseMs(phase_name, best_ms);
+    return best_ms;
   };
-  const double compute_serial_ms = time_compute(1, "compute_serial");
-  const double compute_parallel_ms = time_compute(threads, "compute_parallel");
+  const double serial_ms = time_compute(1, true, "compute_serial");
+  const double parallel_ms = time_compute(threads, true, "compute_parallel");
+  const double naive_serial_ms =
+      time_compute(1, false, "compute_naive_serial");
+  const double naive_parallel_ms =
+      time_compute(threads, false, "compute_naive_parallel");
 
   auto time_predict = [&](std::size_t num_threads, const char* phase_name) {
     core::OrchestratorConfig cfg;
@@ -163,36 +182,61 @@ void WriteRunReport() {
     core::Orchestrator orch{*inst, cfg};
     const auto config = orch.ComputeConfig();
     const core::RoutingModel model{inst->UgCount()};
-    const auto start = std::chrono::steady_clock::now();
-    const auto pred =
-        core::PredictBenefit(*inst, model, config, {}, num_threads);
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    const double ms =
-        std::chrono::duration<double, std::milli>(elapsed).count();
-    report.AddPhaseMs(phase_name, ms);
-    benchmark::DoNotOptimize(pred);
-    return ms;
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto pred =
+          core::PredictBenefit(*inst, model, config, {}, num_threads);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      best_ms = std::min(
+          best_ms, std::chrono::duration<double, std::milli>(elapsed).count());
+      benchmark::DoNotOptimize(pred);
+    }
+    report.AddPhaseMs(phase_name, best_ms);
+    return best_ms;
   };
   const double predict_serial_ms = time_predict(1, "predict_serial");
   const double predict_parallel_ms = time_predict(threads, "predict_parallel");
 
-  if (compute_parallel_ms > 0.0) {
-    report.AddValue("compute_speedup", compute_serial_ms / compute_parallel_ms);
+  report.AddValue("compute_s_per_prefix_serial",
+                  serial_ms / 1000.0 / static_cast<double>(kBudget));
+  if (parallel_ms > 0.0) {
+    report.AddValue("compute_speedup", serial_ms / parallel_ms);
+  }
+  if (serial_ms > 0.0) {
+    report.AddValue("incremental_speedup_serial", naive_serial_ms / serial_ms);
+  }
+  if (parallel_ms > 0.0) {
+    report.AddValue("incremental_speedup_parallel",
+                    naive_parallel_ms / parallel_ms);
   }
   if (predict_parallel_ms > 0.0) {
     report.AddValue("predict_speedup", predict_serial_ms / predict_parallel_ms);
   }
   report.AttachMetrics();
-  report.Write(bench::ReportPath("orchestrator"));
+  report.Write(bench::ReportPath("micro_orchestrator"));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  // --report-only: skip the google-benchmark suite and just emit the
+  // painter.bench.v1 report — what tools/perf_check.sh runs.
+  bool report_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--report-only") {
+      report_only = true;
+      std::copy(argv + i + 1, argv + argc, argv + i);
+      --argc;
+      break;
+    }
+  }
+  if (!report_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
   WriteRunReport();
   return 0;
 }

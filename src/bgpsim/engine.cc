@@ -70,17 +70,22 @@ RoutingOutcome BgpEngine::Propagate(const Announcement& ann) const {
   const topo::AsGraph& g = *graph_;
   RoutingOutcome out{g.size(), ann.origin};
 
-  // Validate and dedupe the receiving-neighbor set.
+  // Validate and dedupe the receiving-neighbor set. Sort+unique instead of a
+  // per-element linear scan: announcements can list hundreds of sessions, and
+  // the stable outcome is seed-order independent (route selection keeps the
+  // max under the strict `Preferred` order, and each BFS level dedupes), so
+  // reordering the seeds cannot change the result.
   std::vector<util::AsId> seeds;
+  seeds.reserve(ann.to_neighbors.size());
   for (util::AsId n : ann.to_neighbors) {
     if (RelOf(ann.origin, n) == Rel::kNone) {
       throw std::invalid_argument{
           "Propagate: announcement to non-adjacent neighbor"};
     }
-    if (std::find(seeds.begin(), seeds.end(), n) == seeds.end()) {
-      seeds.push_back(n);
-    }
+    seeds.push_back(n);
   }
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
 
   auto consider = [&](util::AsId as, const Route& cand) {
     Route& cur = out.MutableRoute(as);

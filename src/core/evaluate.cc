@@ -76,35 +76,84 @@ Orchestrator::Prediction PredictBenefit(const ProblemInstance& instance,
   return pred;
 }
 
+namespace {
+
+// Flattens one Resolve result into the evaluator's ingress/day-0-RTT layout
+// (-1 / +inf for unreachable), filling `ingress[base..base+n)` and
+// `day0[base..base+n)`.
+void FlattenResolved(
+    const std::vector<std::optional<util::PeeringId>>& resolved,
+    const measure::LatencyOracle& oracle, std::size_t base,
+    std::int32_t* ingress, double* day0) {
+  for (std::size_t u = 0; u < resolved.size(); ++u) {
+    if (resolved[u].has_value()) {
+      ingress[base + u] = static_cast<std::int32_t>(resolved[u]->value());
+      day0[base + u] =
+          oracle
+              .TrueRttOnDay(util::UgId{static_cast<std::uint32_t>(u)},
+                            *resolved[u], /*day=*/0)
+              .count();
+    } else {
+      ingress[base + u] = -1;
+      day0[base + u] = std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+}  // namespace
+
 GroundTruthEvaluator::GroundTruthEvaluator(
     const cloudsim::Deployment& deployment,
     const cloudsim::IngressResolver& resolver,
     const measure::LatencyOracle& oracle)
-    : deployment_(&deployment), resolver_(&resolver), oracle_(&oracle) {
+    : deployment_(&deployment),
+      resolver_(&resolver),
+      oracle_(&oracle),
+      ug_count_(deployment.ugs().size()) {
   std::vector<util::PeeringId> all;
   all.reserve(deployment.peerings().size());
   for (const auto& p : deployment.peerings()) all.push_back(p.id);
-  anycast_ingress_ = resolver.Resolve(all);
+  anycast_ingress_.resize(ug_count_);
+  anycast_day0_rtt_.resize(ug_count_);
+  FlattenResolved(resolver.Resolve(all), oracle, 0, anycast_ingress_.data(),
+                  anycast_day0_rtt_.data());
 }
 
 void GroundTruthEvaluator::SetConfig(const AdvertisementConfig& config) {
   static obs::Counter& resolves =
       obs::Metrics().GetCounter("evaluator.gt.prefix_resolves");
-  prefix_ingress_.clear();
-  prefix_ingress_.reserve(config.PrefixCount());
-  for (std::size_t p = 0; p < config.PrefixCount(); ++p) {
-    prefix_ingress_.push_back(resolver_->Resolve(config.Sessions(p)));
-    resolves.Add();
-  }
+  const obs::TraceSpan span{"evaluator.gt.SetConfig"};
+  prefix_count_ = config.PrefixCount();
+  prefix_ingress_.assign(prefix_count_ * ug_count_, -1);
+  prefix_day0_rtt_.assign(prefix_count_ * ug_count_, 0.0);
+  resolves.Add(prefix_count_);
+  // Prefixes resolve independently (Resolve and the oracle are const and
+  // thread-safe) and each fills a disjoint row of the flat arrays.
+  util::ParallelFor(
+      num_threads_, 0, prefix_count_, /*grain=*/1,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t p = chunk_begin; p < chunk_end; ++p) {
+          FlattenResolved(resolver_->Resolve(config.Sessions(p)), *oracle_,
+                          p * ug_count_, prefix_ingress_.data(),
+                          prefix_day0_rtt_.data());
+        }
+      });
 }
 
 double GroundTruthEvaluator::RttOf(std::uint32_t u, int prefix,
                                    int day) const {
-  const auto& ingress = prefix < 0
-                            ? anycast_ingress_.at(u)
-                            : prefix_ingress_.at(static_cast<std::size_t>(prefix)).at(u);
-  if (!ingress.has_value()) return std::numeric_limits<double>::infinity();
-  return oracle_->TrueRttOnDay(util::UgId{u}, *ingress, day).count();
+  const std::size_t slot =
+      prefix < 0 ? u : static_cast<std::size_t>(prefix) * ug_count_ + u;
+  const std::int32_t ingress =
+      prefix < 0 ? anycast_ingress_[slot] : prefix_ingress_[slot];
+  if (ingress < 0) return std::numeric_limits<double>::infinity();
+  if (day == 0) {
+    return prefix < 0 ? anycast_day0_rtt_[slot] : prefix_day0_rtt_[slot];
+  }
+  return oracle_
+      ->TrueRttOnDay(util::UgId{u},
+                     util::PeeringId{static_cast<std::uint32_t>(ingress)}, day)
+      .count();
 }
 
 double GroundTruthEvaluator::MeanImprovementMs(int day) const {
@@ -129,7 +178,7 @@ double GroundTruthEvaluator::MeanImprovementMs(int day) const {
           const std::uint32_t u = ug.id.value();
           const double any = RttOf(u, -1, day);
           double best = any;
-          for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+          for (std::size_t p = 0; p < prefix_count_; ++p) {
             best = std::min(best, RttOf(u, static_cast<int>(p), day));
           }
           if (std::isfinite(any)) {
@@ -166,7 +215,7 @@ double GroundTruthEvaluator::PositiveMeanImprovementMs(int day) const {
           const std::uint32_t u = ug.id.value();
           const double any = RttOf(u, -1, day);
           double best = any;
-          for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+          for (std::size_t p = 0; p < prefix_count_; ++p) {
             best = std::min(best, RttOf(u, static_cast<int>(p), day));
           }
           const double imp = any - best;
@@ -194,7 +243,7 @@ double GroundTruthEvaluator::MeanImprovementOverUgsMs(
     const double any = RttOf(u, -1, day);
     if (!std::isfinite(any)) continue;
     double best = any;
-    for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+    for (std::size_t p = 0; p < prefix_count_; ++p) {
       best = std::min(best, RttOf(u, static_cast<int>(p), day));
     }
     acc += ug.traffic_weight * (any - best);
@@ -206,17 +255,31 @@ double GroundTruthEvaluator::MeanImprovementOverUgsMs(
 std::vector<std::uint32_t> GroundTruthEvaluator::BenefitingUgs(
     const cloudsim::PolicyCatalog& catalog, double threshold_ms,
     int day) const {
+  const auto& ugs = deployment_->ugs();
+  // Per-UG membership flags are staged (each iteration writes only its own
+  // slot) and collected serially in UG order, so the set is identical to the
+  // serial scan at any thread count.
+  std::vector<std::uint8_t> benefits(ugs.size(), 0);
+  util::ParallelFor(
+      num_threads_, 0, ugs.size(), /*grain=*/32,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const auto& ug = ugs[i];
+          // Both sides of the headroom comparison use the same day's ground
+          // truth so the set agrees with the improvement metrics for that day.
+          const double any = RttOf(ug.id.value(), -1, day);
+          if (!std::isfinite(any)) continue;
+          double best = any;
+          for (util::PeeringId pid : catalog.CompliantPeerings(ug.id)) {
+            best =
+                std::min(best, oracle_->TrueRttOnDay(ug.id, pid, day).count());
+          }
+          if (any - best > threshold_ms) benefits[i] = 1;
+        }
+      });
   std::vector<std::uint32_t> out;
-  for (const auto& ug : deployment_->ugs()) {
-    // Both sides of the headroom comparison use the same day's ground truth
-    // so the set agrees with the improvement metrics for that day.
-    const double any = RttOf(ug.id.value(), -1, day);
-    if (!std::isfinite(any)) continue;
-    double best = any;
-    for (util::PeeringId pid : catalog.CompliantPeerings(ug.id)) {
-      best = std::min(best, oracle_->TrueRttOnDay(ug.id, pid, day).count());
-    }
-    if (any - best > threshold_ms) out.push_back(ug.id.value());
+  for (std::size_t i = 0; i < ugs.size(); ++i) {
+    if (benefits[i]) out.push_back(ugs[i].id.value());
   }
   return out;
 }
@@ -231,7 +294,7 @@ std::vector<int> GroundTruthEvaluator::Choices(int day) const {
         for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
           const std::uint32_t u = ugs[i].id.value();
           double best = RttOf(u, -1, day);
-          for (std::size_t p = 0; p < prefix_ingress_.size(); ++p) {
+          for (std::size_t p = 0; p < prefix_count_; ++p) {
             const double rtt = RttOf(u, static_cast<int>(p), day);
             if (rtt < best) {
               best = rtt;
@@ -261,19 +324,36 @@ double GroundTruthEvaluator::MeanImprovementStaticMs(
 
 double GroundTruthEvaluator::PossibleMeanImprovementMs(
     const cloudsim::PolicyCatalog& catalog, int day) const {
+  const auto& ugs = deployment_->ugs();
+  // Per-UG terms are staged and reduced in UG order (bit-identical to the
+  // serial loop at any thread count).
+  struct Term {
+    double acc = 0.0;
+    double w = 0.0;
+  };
+  std::vector<Term> terms(ugs.size());
+  util::ParallelFor(
+      num_threads_, 0, ugs.size(), /*grain=*/32,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const auto& ug = ugs[i];
+          const std::uint32_t u = ug.id.value();
+          const double any = RttOf(u, -1, day);
+          if (!std::isfinite(any)) continue;
+          double best = any;
+          for (util::PeeringId pid : catalog.CompliantPeerings(ug.id)) {
+            best =
+                std::min(best, oracle_->TrueRttOnDay(ug.id, pid, day).count());
+          }
+          terms[i].acc = ug.traffic_weight * (any - best);
+          terms[i].w = ug.traffic_weight;
+        }
+      });
   double acc = 0.0;
   double wsum = 0.0;
-  for (const auto& ug : deployment_->ugs()) {
-    const std::uint32_t u = ug.id.value();
-    const double any = RttOf(u, -1, day);
-    if (!std::isfinite(any)) continue;
-    double best = any;
-    for (util::PeeringId pid : catalog.CompliantPeerings(ug.id)) {
-      best = std::min(best,
-                      oracle_->TrueRttOnDay(ug.id, pid, day).count());
-    }
-    acc += ug.traffic_weight * (any - best);
-    wsum += ug.traffic_weight;
+  for (const Term& t : terms) {
+    acc += t.acc;
+    wsum += t.w;
   }
   return wsum == 0.0 ? 0.0 : acc / wsum;
 }
@@ -295,22 +375,25 @@ double EvaluateDnsSteering(const ProblemInstance& instance,
                 config.PrefixCount());
   const std::size_t n_resolvers = dns.resolver_supports_ecs.size();
 
-  // Modeled RTT per (UG, prefix). There is no anycast column: a UG falls
-  // back to anycast through the `used` floor in the final loop below.
-  // Each (u, p) cell is independent; the fill is parallelized over UGs.
+  // Modeled RTT per (UG, prefix), stored row-major in one contiguous buffer
+  // (rtt[u * cols + p]) — the resolver aggregation below walks a column
+  // slice per UG, and per-row heap allocations dominated the fill at scale.
+  // There is no anycast column: a UG falls back to anycast through the
+  // `used` floor in the final loop below. Each (u, p) cell is independent;
+  // the fill is parallelized over UGs.
   const std::size_t cols = config.PrefixCount();
-  std::vector<std::vector<double>> rtt(instance.UgCount(),
-                                       std::vector<double>(cols, 0.0));
+  std::vector<double> rtt(instance.UgCount() * cols, 0.0);
   util::ParallelFor(
       num_threads, 0, instance.UgCount(), /*grain=*/16,
       [&](std::size_t chunk_begin, std::size_t chunk_end) {
         for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
           const auto u = static_cast<std::uint32_t>(i);
+          double* row = rtt.data() + i * cols;
           for (std::size_t p = 0; p < cols; ++p) {
             const PrefixExpectation e = ComputeExpectation(
                 instance, model, u, config.Sessions(p), params);
-            rtt[u][p] = e.usable ? e.mean_rtt
-                                 : std::numeric_limits<double>::infinity();
+            row[p] = e.usable ? e.mean_rtt
+                              : std::numeric_limits<double>::infinity();
           }
         }
       });
@@ -328,8 +411,9 @@ double EvaluateDnsSteering(const ProblemInstance& instance,
     for (std::size_t p = 0; p < cols; ++p) {
       double agg = 0.0;
       for (std::uint32_t u : ugs_of_resolver[r]) {
-        if (!std::isfinite(rtt[u][p])) continue;  // falls back to anycast
-        agg += instance.ug_weight[u] * (instance.anycast_rtt_ms[u] - rtt[u][p]);
+        const double v = rtt[u * cols + p];
+        if (!std::isfinite(v)) continue;  // falls back to anycast
+        agg += instance.ug_weight[u] * (instance.anycast_rtt_ms[u] - v);
       }
       if (agg > best_agg) {
         best_agg = agg;
@@ -344,10 +428,13 @@ double EvaluateDnsSteering(const ProblemInstance& instance,
     double used = instance.anycast_rtt_ms[u];
     if (dns.resolver_supports_ecs[r]) {
       // ECS: the resolver can tailor the record per client /24 == per UG.
-      for (std::size_t p = 0; p < cols; ++p) used = std::min(used, rtt[u][p]);
+      for (std::size_t p = 0; p < cols; ++p) {
+        used = std::min(used, rtt[u * cols + p]);
+      }
     } else if (prefix_of_resolver[r] >= 0) {
       assert(static_cast<std::size_t>(prefix_of_resolver[r]) < cols);
-      const double v = rtt[u][static_cast<std::size_t>(prefix_of_resolver[r])];
+      const double v =
+          rtt[u * cols + static_cast<std::size_t>(prefix_of_resolver[r])];
       if (std::isfinite(v)) used = v;  // may be worse than anycast for this UG
     }
     acc += instance.ug_weight[u] * (instance.anycast_rtt_ms[u] - used);

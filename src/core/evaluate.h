@@ -14,6 +14,7 @@
 // all of its UGs to a single prefix (per-/24 for ECS resolvers).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/advertisement.h"
@@ -46,8 +47,9 @@ class GroundTruthEvaluator {
 
   void SetConfig(const AdvertisementConfig& config);
 
-  // Worker threads for the per-UG evaluation loops (MeanImprovementMs,
-  // PositiveMeanImprovementMs, Choices). 0 = hardware_concurrency();
+  // Worker threads for the prefix resolution in SetConfig and the per-UG
+  // evaluation loops (MeanImprovementMs, PositiveMeanImprovementMs, Choices,
+  // BenefitingUgs, PossibleMeanImprovementMs). 0 = hardware_concurrency();
   // 1 (the default) keeps the serial path. Per-UG terms are reduced in
   // fixed UG order, so results are bit-identical at any thread count.
   void SetNumThreads(std::size_t num_threads) { num_threads_ = num_threads; }
@@ -92,10 +94,18 @@ class GroundTruthEvaluator {
   const cloudsim::IngressResolver* resolver_;
   const measure::LatencyOracle* oracle_;
   std::size_t num_threads_ = 1;
+  std::size_t ug_count_ = 0;
 
-  std::vector<std::optional<util::PeeringId>> anycast_ingress_;
-  // Per prefix: resolved ingress per UG.
-  std::vector<std::vector<std::optional<util::PeeringId>>> prefix_ingress_;
+  // Flat hot-path layout. Resolved ingress per UG (-1 = no route) and the
+  // day-0 ground-truth RTT per UG (+inf where unreachable); the prefix
+  // arrays are row-major (prefix * ug_count_ + ug). Day 0 dominates every
+  // evaluation loop, so its RTTs are precomputed when the configuration is
+  // set; other days go to the oracle through the flat ingress arrays.
+  std::vector<std::int32_t> anycast_ingress_;
+  std::vector<double> anycast_day0_rtt_;
+  std::size_t prefix_count_ = 0;
+  std::vector<std::int32_t> prefix_ingress_;
+  std::vector<double> prefix_day0_rtt_;
 };
 
 // DNS-steered variant of a configuration (Fig. 9b): resolver r's UGs are all

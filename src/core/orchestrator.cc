@@ -24,6 +24,15 @@ struct OrchestratorMetrics {
       obs::Metrics().GetCounter("orchestrator.celf.evaluations");
   obs::Counter& celf_stale_reevals =
       obs::Metrics().GetCounter("orchestrator.celf.stale_reevals");
+  // Incremental-engine telemetry: seed marginals served from the cross-round
+  // cache vs re-evaluated after a dirty-UG invalidation, and expectation
+  // evaluations that had to fall off the running-aggregate fast path.
+  obs::Counter& celf_cache_hits =
+      obs::Metrics().GetCounter("orchestrator.celf.cache_hits");
+  obs::Counter& celf_cache_invalidations =
+      obs::Metrics().GetCounter("orchestrator.celf.cache_invalidations");
+  obs::Counter& celf_expectation_fallbacks =
+      obs::Metrics().GetCounter("orchestrator.celf.expectation_fallbacks");
   obs::Counter& celf_commits =
       obs::Metrics().GetCounter("orchestrator.celf.commits");
   obs::Counter& reuse_accepts =
@@ -47,7 +56,10 @@ struct OrchestratorMetrics {
 
 Orchestrator::Orchestrator(const ProblemInstance& instance,
                            OrchestratorConfig config)
-    : instance_(&instance), config_(config), model_(instance.UgCount()) {}
+    : instance_(&instance),
+      config_(config),
+      model_(instance.UgCount()),
+      flat_(instance) {}
 
 AdvertisementConfig Orchestrator::ComputeConfig() const {
   const obs::TraceSpan span{"orchestrator.ComputeConfig"};
@@ -55,6 +67,7 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
   const ProblemInstance& inst = *instance_;
   const ExpectationParams params = config_.Expectation();
   const std::size_t n_ug = inst.UgCount();
+  const bool incremental = config_.incremental_celf;
 
   AdvertisementConfig cc;
 
@@ -69,11 +82,107 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
   // options among `sessions`, maintained incrementally so each marginal
   // evaluation is O(|candidates|) instead of an intersection walk.
   std::vector<std::vector<const IngressOption*>> cands(n_ug);
+  // Running aggregates over the raw (exclusion-free) candidate list, in
+  // append order: the Eq. 2 mean of a grown-by-one list is
+  // (sum + rtt) / (count + 1) whenever neither exclusion can fire, which
+  // the min/max-distance spread and RoutingModel::HasPreferences detect
+  // exactly. Sums accumulate in the same order the from-scratch walk would,
+  // so the fast path is bit-identical to it.
+  std::vector<std::uint32_t> cand_count(n_ug, 0);
+  std::vector<double> cand_sum(n_ug, 0.0);
+  std::vector<double> cand_min_km(n_ug, 0.0);
+  std::vector<double> cand_max_km(n_ug, 0.0);
+
+  // Effective single-candidate RTT per flat-index entry: the measured RTT
+  // when the model has one, else the instance estimate — exactly the value
+  // ComputeExpectationFromCandidates would derive for that option. The model
+  // is fixed for the whole greedy pass, so fill once per call.
+  std::vector<double> eff_rtt(flat_.EntryCount());
+  util::ParallelFor(
+      config_.num_threads, 0, inst.peering_count, /*grain=*/8,
+      [&](std::size_t chunk_begin, std::size_t chunk_end) {
+        for (std::size_t g = chunk_begin; g < chunk_end; ++g) {
+          for (std::size_t i = flat_.offset[g]; i < flat_.offset[g + 1]; ++i) {
+            const IngressOption* opt = flat_.option[i];
+            eff_rtt[i] = model_.MeasuredRtt(flat_.ug[i], opt->peering)
+                             .value_or(opt->rtt_ms);
+          }
+        }
+      });
+
+  // Cross-round seed-marginal cache. A peering's *seed* marginal (evaluated
+  // against an empty in-progress prefix) depends only on base_best over its
+  // UGs, so committing a prefix invalidates exactly the peerings whose UG
+  // sets intersect the UGs whose base_best dropped — the dirty-UG rule.
+  std::vector<double> seed_delta(inst.peering_count, 0.0);
+  std::vector<std::uint8_t> seed_dirty(inst.peering_count, 1);
+
+  // Eq. 2 mean of cands[u] + opt (kInf when unusable), without mutating
+  // state. Fast path: a lone candidate is exclusion-free by construction,
+  // and a multi-candidate list with no learned preferences and a distance
+  // spread within D_reuse keeps every candidate, so the mean is a running
+  // sum away. Anything else falls back to the from-scratch walk (which IS
+  // the reference semantics, so both paths agree bit-for-bit).
+  auto expected_with = [&](std::uint32_t u, const IngressOption* opt,
+                           double rtt) {
+    const std::uint32_t count = cand_count[u];
+    if (incremental) {
+      if (count == 0) return rtt;
+      if (!model_.HasPreferences(u)) {
+        const double min_km = std::min(cand_min_km[u], opt->distance_km);
+        const double max_km = std::max(cand_max_km[u], opt->distance_km);
+        if (max_km - min_km <= params.d_reuse_km) {
+          // No exclusion can fire: the mean is over the full grown list.
+          return (cand_sum[u] + rtt) / static_cast<double>(count + 1);
+        }
+        if (opt->distance_km - cand_min_km[u] > params.d_reuse_km) {
+          // The new option is excluded by D_reuse itself and (being farther
+          // than the current min) cannot shift the min, so the surviving set
+          // is exactly that of the current list — whose expectation cur_e[u]
+          // already is.
+          return cur_e[u];
+        }
+        if (cand_min_km[u] - opt->distance_km > params.d_reuse_km) {
+          // The new option undercuts every current candidate by more than
+          // D_reuse: they are all excluded and it alone survives.
+          return rtt;
+        }
+      }
+      metrics.celf_expectation_fallbacks.Add();  // sharded: worker-safe
+    }
+    // Scratch reused across calls; thread_local so the concurrent seeding
+    // scan below can evaluate marginals on pool workers without sharing.
+    thread_local std::vector<const IngressOption*> trial;
+    trial.assign(cands[u].begin(), cands[u].end());
+    trial.push_back(opt);
+    const PrefixExpectation e =
+        ComputeExpectationFromCandidates(model_, u, trial, params);
+    return e.usable ? e.mean_rtt : kInf;
+  };
+
+  // Eq. 1 marginal benefit of adding `gid` to the in-progress prefix.
+  auto marginal_of = [&](util::PeeringId gid) {
+    metrics.celf_evals.Add();  // sharded: safe from the concurrent scan
+    double delta = 0.0;
+    const std::size_t lo = flat_.offset[gid.value()];
+    const std::size_t hi = flat_.offset[gid.value() + 1];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t u = flat_.ug[i];
+      const double new_e = expected_with(u, flat_.option[i], eff_rtt[i]);
+      const double old_best = std::min(base_best[u], cur_e[u]);
+      const double new_best = std::min(base_best[u], new_e);
+      delta += inst.ug_weight[u] * (old_best - new_best);
+    }
+    return delta;
+  };
 
   for (std::size_t p = 0; p < config_.prefix_budget; ++p) {
     sessions.clear();
     std::fill(cur_e.begin(), cur_e.end(), kInf);
     for (auto& c : cands) c.clear();
+    std::fill(cand_count.begin(), cand_count.end(), 0u);
+    std::fill(cand_sum.begin(), cand_sum.end(), 0.0);
+    // min/max km are only read when cand_count > 0; no reset needed.
 
     // Inner loop of Algorithm 1: add peerings while one yields positive
     // marginal benefit (Eq. 1 over modelled expectations).
@@ -86,26 +195,6 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
     // re-evaluations. (Reuse can occasionally *raise* a marginal by harming
     // a UG's expectation on this prefix — a second-order effect the lazy
     // schedule may miss; Algorithm 1 is a greedy heuristic either way.)
-    auto marginal_of = [&](util::PeeringId gid) {
-      metrics.celf_evals.Add();  // sharded: safe from the concurrent scan
-      // Scratch reused across calls; thread_local so the concurrent seeding
-      // scan below can evaluate marginals on pool workers without sharing.
-      thread_local std::vector<const IngressOption*> trial;
-      double delta = 0.0;
-      for (std::uint32_t u : inst.ugs_with_peering[gid.value()]) {
-        const IngressOption* opt = inst.Option(u, gid);
-        trial.assign(cands[u].begin(), cands[u].end());
-        trial.push_back(opt);
-        const PrefixExpectation e =
-            ComputeExpectationFromCandidates(model_, u, trial, params);
-        const double new_e = e.usable ? e.mean_rtt : kInf;
-        const double old_best = std::min(base_best[u], cur_e[u]);
-        const double new_best = std::min(base_best[u], new_e);
-        delta += inst.ug_weight[u] * (old_best - new_best);
-      }
-      return delta;
-    };
-
     struct Scored {
       double delta;
       std::uint64_t round;  // commit-round the delta was computed at
@@ -122,18 +211,37 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
       // shared state (base_best / cur_e / cands / the routing model), so the
       // scan is embarrassingly parallel; the heap is then built serially in
       // peering order, making the result bit-identical to the serial scan.
-      std::vector<double> seed_delta(inst.peering_count, 0.0);
+      // With the incremental engine, only dirty peerings are re-evaluated —
+      // the rest reuse the cached marginal from the previous round, which a
+      // fresh evaluation would reproduce bit-for-bit.
+      if (incremental) {
+        std::uint64_t hits = 0;
+        std::uint64_t invalidations = 0;
+        for (std::size_t g = 0; g < inst.peering_count; ++g) {
+          if (flat_.offset[g + 1] == flat_.offset[g]) continue;
+          if (seed_dirty[g]) {
+            ++invalidations;
+          } else {
+            ++hits;
+          }
+        }
+        metrics.celf_cache_hits.Add(hits);
+        metrics.celf_cache_invalidations.Add(invalidations);
+      }
       util::ParallelFor(
           config_.num_threads, 0, inst.peering_count, /*grain=*/8,
           [&](std::size_t chunk_begin, std::size_t chunk_end) {
             for (std::size_t g = chunk_begin; g < chunk_end; ++g) {
-              if (inst.ugs_with_peering[g].empty()) continue;
+              if (flat_.offset[g + 1] == flat_.offset[g]) continue;
+              if (incremental && !seed_dirty[g]) continue;  // cache hit
               seed_delta[g] =
                   marginal_of(util::PeeringId{static_cast<std::uint32_t>(g)});
             }
           });
+      std::fill(seed_dirty.begin(), seed_dirty.end(),
+                static_cast<std::uint8_t>(0));
       for (std::uint32_t g = 0; g < inst.peering_count; ++g) {
-        if (inst.ugs_with_peering[g].empty()) continue;
+        if (flat_.offset[g + 1] == flat_.offset[g]) continue;
         if (seed_delta[g] > 0.0) {
           heap.push(Scored{seed_delta[g], round, util::PeeringId{g}});
         }
@@ -164,11 +272,22 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
       sessions.insert(
           std::lower_bound(sessions.begin(), sessions.end(), top.peering),
           top.peering);
-      for (std::uint32_t u : inst.ugs_with_peering[top.peering.value()]) {
-        cands[u].push_back(inst.Option(u, top.peering));
-        const PrefixExpectation e =
-            ComputeExpectationFromCandidates(model_, u, cands[u], params);
-        cur_e[u] = e.usable ? e.mean_rtt : kInf;
+      const std::size_t lo = flat_.offset[top.peering.value()];
+      const std::size_t hi = flat_.offset[top.peering.value() + 1];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint32_t u = flat_.ug[i];
+        const IngressOption* opt = flat_.option[i];
+        cur_e[u] = expected_with(u, opt, eff_rtt[i]);
+        cands[u].push_back(opt);
+        if (cand_count[u] == 0) {
+          cand_min_km[u] = opt->distance_km;
+          cand_max_km[u] = opt->distance_km;
+        } else {
+          cand_min_km[u] = std::min(cand_min_km[u], opt->distance_km);
+          cand_max_km[u] = std::max(cand_max_km[u], opt->distance_km);
+        }
+        cand_sum[u] += eff_rtt[i];
+        ++cand_count[u];
       }
       if (!config_.enable_reuse) break;  // ablation: one peering per prefix
     }
@@ -177,7 +296,14 @@ AdvertisementConfig Orchestrator::ComputeConfig() const {
     metrics.prefixes_allocated.Add();
     cc.AddPrefix(sessions);
     for (std::uint32_t u = 0; u < n_ug; ++u) {
-      base_best[u] = std::min(base_best[u], cur_e[u]);
+      if (cur_e[u] < base_best[u]) {
+        base_best[u] = cur_e[u];
+        // Dirty-UG -> dirty-peering via the forward option list: every
+        // peering serving u must re-derive its seed marginal next round.
+        for (const IngressOption& opt : inst.options[u]) {
+          seed_dirty[opt.peering.value()] = 1;
+        }
+      }
     }
   }
   // Prefix-budget consumption: the greedy pass stops early when no peering

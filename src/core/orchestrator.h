@@ -50,6 +50,15 @@ struct OrchestratorConfig {
   // independently and reduce them serially in fixed index order.
   std::size_t num_threads = 0;
 
+  // Incremental CELF engine (DESIGN.md "Incremental CELF evaluation"):
+  // per-peering seed marginals are cached across prefix rounds and
+  // invalidated through the dirty-UG rule, and grown-by-one candidate lists
+  // are evaluated from per-UG running aggregates instead of re-walking the
+  // list. Bit-identical to the from-scratch engine at any thread count (the
+  // property and golden-schedule tests prove it); false forces the naive
+  // path for testing and benchmarking.
+  bool incremental_celf = true;
+
   // Ablations.
   bool enable_reuse = true;     // false: one peering per prefix (no reuse)
   bool enable_learning = true;  // false: never update the routing model
@@ -136,6 +145,9 @@ class Orchestrator {
   const ProblemInstance* instance_;
   OrchestratorConfig config_;
   RoutingModel model_;
+  // Contiguous inverted index (peering -> its UGs and option entries), the
+  // hot-path layout every marginal evaluation in ComputeConfig walks.
+  FlatPeeringIndex flat_;
 };
 
 }  // namespace painter::core

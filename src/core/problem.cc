@@ -83,6 +83,26 @@ double ProblemInstance::TotalPossibleBenefitMs() const {
   return total_weight == 0.0 ? 0.0 : acc / total_weight;
 }
 
+FlatPeeringIndex::FlatPeeringIndex(const ProblemInstance& instance) {
+  offset.assign(instance.peering_count + 1, 0);
+  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
+    for (const IngressOption& opt : instance.options[u]) {
+      ++offset[opt.peering.value() + 1];
+    }
+  }
+  for (std::size_t g = 1; g < offset.size(); ++g) offset[g] += offset[g - 1];
+  ug.resize(offset.back());
+  option.resize(offset.back());
+  std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+  for (std::uint32_t u = 0; u < instance.UgCount(); ++u) {
+    for (const IngressOption& opt : instance.options[u]) {
+      const std::size_t slot = cursor[opt.peering.value()]++;
+      ug[slot] = u;
+      option[slot] = &opt;
+    }
+  }
+}
+
 ProblemInstance BuildMeasuredInstance(
     const topo::Internet& internet, const cloudsim::Deployment& deployment,
     const cloudsim::PolicyCatalog& catalog,

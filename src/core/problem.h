@@ -54,6 +54,23 @@ struct ProblemInstance {
   [[nodiscard]] double TotalPossibleBenefitMs() const;
 };
 
+// Flat, contiguous view of the inverted index for the orchestrator's hot
+// loops: entries for peering g live in [offset[g], offset[g+1]) of the
+// parallel arrays `ug` / `option`, listing each UG that has g among its
+// compliant options (ascending UG id, matching ugs_with_peering order) and a
+// pointer to that option entry. Built from `options` alone, so it stays
+// consistent for instances filtered after construction (fig15's peer
+// subsampling erases options and rebuilds orchestrators).
+struct FlatPeeringIndex {
+  explicit FlatPeeringIndex(const ProblemInstance& instance);
+
+  std::vector<std::size_t> offset;           // peering_count + 1 entries
+  std::vector<std::uint32_t> ug;             // UG id value per entry
+  std::vector<const IngressOption*> option;  // the (ug, peering) option
+
+  [[nodiscard]] std::size_t EntryCount() const { return ug.size(); }
+};
+
 // Prototype setting: probe each compliant ingress (min of `ping_count`).
 [[nodiscard]] ProblemInstance BuildMeasuredInstance(
     const topo::Internet& internet, const cloudsim::Deployment& deployment,

@@ -25,9 +25,20 @@ void RoutingModel::ObservePreference(
   auto& set = prefers_.at(ug);
   for (util::PeeringId other : candidates) {
     if (other == chosen) continue;
-    if (set.insert(PairKey(chosen, other)).second) learned.Add();
+    const std::uint64_t key = PairKey(chosen, other);
+    const auto it = std::lower_bound(set.begin(), set.end(), key);
+    if (it == set.end() || *it != key) {
+      set.insert(it, key);
+      ++preference_count_;
+      learned.Add();
+    }
     // Observations are ground truth; retract any stale opposite belief.
-    set.erase(PairKey(other, chosen));
+    const std::uint64_t opposite = PairKey(other, chosen);
+    const auto oit = std::lower_bound(set.begin(), set.end(), opposite);
+    if (oit != set.end() && *oit == opposite) {
+      set.erase(oit);
+      --preference_count_;
+    }
   }
 }
 
@@ -46,7 +57,10 @@ bool RoutingModel::IsDominated(
   if (set.empty()) return false;
   for (util::PeeringId other : active) {
     if (other == candidate) continue;
-    if (set.contains(PairKey(other, candidate))) return true;
+    if (std::binary_search(set.begin(), set.end(),
+                           PairKey(other, candidate))) {
+      return true;
+    }
   }
   return false;
 }
@@ -57,12 +71,6 @@ std::optional<double> RoutingModel::MeasuredRtt(std::uint32_t ug,
   const auto it = m.find(ingress.value());
   if (it == m.end()) return std::nullopt;
   return it->second;
-}
-
-std::size_t RoutingModel::PreferenceCount() const {
-  std::size_t n = 0;
-  for (const auto& s : prefers_) n += s.size();
-  return n;
 }
 
 PrefixExpectation ComputeExpectationFromCandidates(

@@ -27,15 +27,14 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/problem.h"
 
 namespace painter::core {
 
-// Thread-safety contract: the const methods (IsDominated, MeasuredRtt,
-// PreferenceCount) and the ComputeExpectation* helpers below only read
+// Thread-safety contract: the const methods (IsDominated, HasPreferences,
+// MeasuredRtt, PreferenceCount) and the ComputeExpectation* helpers below only read
 // shared state, so any number of threads may call them concurrently — the
 // orchestrator's parallel evaluation loops rely on this. The Observe*
 // mutators require exclusive access (they run in the serial Absorb phase of
@@ -59,16 +58,32 @@ class RoutingModel {
   [[nodiscard]] bool IsDominated(std::uint32_t ug, util::PeeringId candidate,
                                  std::span<const util::PeeringId> active) const;
 
+  // True once any pairwise preference has been observed for `ug`. The
+  // orchestrator's incremental fast path keys off this: with no preferences,
+  // the dominance exclusion can never fire for the UG.
+  [[nodiscard]] bool HasPreferences(std::uint32_t ug) const {
+    return !prefers_[ug].empty();
+  }
+
   [[nodiscard]] std::optional<double> MeasuredRtt(std::uint32_t ug,
                                                   util::PeeringId ingress) const;
 
-  [[nodiscard]] std::size_t PreferenceCount() const;
+  // Total learned pairs, maintained as a running count by ObservePreference
+  // (this is polled per learning iteration for a gauge; walking every UG's
+  // list there would be O(UGs) per poll).
+  [[nodiscard]] std::size_t PreferenceCount() const {
+    return preference_count_;
+  }
 
  private:
-  // ug -> set of (winner << 32 | loser) pairs.
-  std::vector<std::unordered_set<std::uint64_t>> prefers_;
+  // ug -> sorted flat list of (winner << 32 | loser) pair keys. A sorted
+  // vector beats a hash set here: the dominance probe (hot, called from the
+  // greedy loop's expectation fallback) is a binary search over a contiguous
+  // few-element array, and mutation happens only in the serial Absorb phase.
+  std::vector<std::vector<std::uint64_t>> prefers_;
   // ug -> ingress -> measured RTT.
   std::vector<std::unordered_map<std::uint32_t, double>> measured_;
+  std::size_t preference_count_ = 0;
 };
 
 struct ExpectationParams {

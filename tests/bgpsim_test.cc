@@ -161,6 +161,24 @@ TEST(BgpEngine, ValleyFreeNoPeerProviderLeak) {
   EXPECT_FALSE(out.Reachable(f.t1b));
 }
 
+TEST(BgpEngine, DuplicateAndUnorderedSeedsMatchCanonical) {
+  // Propagate dedupes the receiving-neighbor set with sort+unique; listing a
+  // session several times, in any order, must yield the canonical outcome.
+  FixtureGraph f;
+  BgpEngine engine{f.g};
+  const auto canonical = engine.Propagate(
+      Announcement{util::PrefixId{0}, f.cloud, {f.trB, f.trC}});
+  const auto dup = engine.Propagate(Announcement{
+      util::PrefixId{0}, f.cloud, {f.trC, f.trB, f.trC, f.trB, f.trB}});
+  for (std::uint32_t v = 0; v < f.g.size(); ++v) {
+    const AsId as{v};
+    ASSERT_EQ(dup.Reachable(as), canonical.Reachable(as)) << "AS " << as;
+    if (canonical.Reachable(as)) {
+      EXPECT_EQ(dup.Path(as), canonical.Path(as)) << "AS " << as;
+    }
+  }
+}
+
 TEST(BgpEngine, AnnouncementToNonNeighborThrows) {
   FixtureGraph f;
   BgpEngine engine{f.g};

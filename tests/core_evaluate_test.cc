@@ -172,13 +172,23 @@ TEST_F(EvaluateTest, GroundTruthParallelBitIdenticalToSerial) {
   const double mean = eval_->MeanImprovementMs(day);
   const double positive = eval_->PositiveMeanImprovementMs(day);
   const auto choices = eval_->Choices(day);
+  const auto benefiting = eval_->BenefitingUgs(*w_.catalog, 1.0, day);
+  const double possible = eval_->PossibleMeanImprovementMs(*w_.catalog, day);
   for (const std::size_t t : {2ul, 8ul}) {
     eval_->SetNumThreads(t);
     EXPECT_EQ(eval_->MeanImprovementMs(day), mean) << t << " threads";
     EXPECT_EQ(eval_->PositiveMeanImprovementMs(day), positive);
     EXPECT_EQ(eval_->Choices(day), choices);
+    EXPECT_EQ(eval_->BenefitingUgs(*w_.catalog, 1.0, day), benefiting);
+    EXPECT_EQ(eval_->PossibleMeanImprovementMs(*w_.catalog, day), possible);
+    // The parallel prefix resolution of SetConfig must land each prefix's
+    // ingresses in the same rows the serial fill produces.
+    eval_->SetConfig(cfg);
+    EXPECT_EQ(eval_->MeanImprovementMs(day), mean) << t << " threads";
+    EXPECT_EQ(eval_->Choices(day), choices);
   }
   eval_->SetNumThreads(1);
+  eval_->SetConfig(cfg);
 }
 
 TEST_F(EvaluateTest, PredictAndDnsSteeringParallelBitIdenticalToSerial) {

@@ -150,6 +150,26 @@ TEST(RoutingModelTest, PreferenceCountTracksPairs) {
                                    util::PeeringId{2}};
   model.ObservePreference(1, util::PeeringId{0}, cands);
   EXPECT_EQ(model.PreferenceCount(), 2u);
+  // Re-observing the same choice must not double count...
+  model.ObservePreference(1, util::PeeringId{0}, cands);
+  EXPECT_EQ(model.PreferenceCount(), 2u);
+  // ...and a contradicting observation retracts the opposite pair, so the
+  // running count stays consistent with the stored pairs: 0>1 is replaced by
+  // 1>0 while 1>2 is added (0>2 remains).
+  model.ObservePreference(1, util::PeeringId{1}, cands);
+  EXPECT_EQ(model.PreferenceCount(), 3u);
+}
+
+TEST(RoutingModelTest, HasPreferencesPerUg) {
+  RoutingModel model{3};
+  EXPECT_FALSE(model.HasPreferences(0));
+  const util::PeeringId cands[] = {util::PeeringId{4}, util::PeeringId{9}};
+  model.ObservePreference(2, util::PeeringId{4}, cands);
+  EXPECT_TRUE(model.HasPreferences(2));
+  EXPECT_FALSE(model.HasPreferences(0));  // other UGs unaffected
+  // Measured latencies alone don't constitute preferences.
+  model.ObserveLatency(0, util::PeeringId{4}, 12.0);
+  EXPECT_FALSE(model.HasPreferences(0));
 }
 
 TEST(BuildInstance, MeasuredInstanceConsistentWithWorld) {

@@ -7,6 +7,7 @@
 #include "core/evaluate.h"
 #include "core/orchestrator.h"
 #include "core/sim_environment.h"
+#include "obs/metrics.h"
 #include "tests/world_fixture.h"
 
 namespace painter::core {
@@ -88,6 +89,82 @@ TEST_P(OrchestratorPropertyTest, Deterministic) {
   for (std::size_t p = 0; p < ca.PrefixCount(); ++p) {
     EXPECT_EQ(ca.Sessions(p), cb.Sessions(p));
   }
+}
+
+// The incremental CELF engine (cross-round seed-marginal cache + aggregate
+// fast path) must produce the exact schedule of a from-scratch recompute, at
+// any thread count. DESIGN.md "Incremental CELF evaluation" argues why; this
+// checks it across seeded worlds.
+TEST_P(OrchestratorPropertyTest, IncrementalMatchesNaiveRecompute) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{5}}) {
+    OrchestratorConfig fast;
+    fast.prefix_budget = 7;
+    fast.num_threads = threads;
+    fast.incremental_celf = true;
+    OrchestratorConfig slow = fast;
+    slow.incremental_celf = false;
+    Orchestrator a{inst_, fast};
+    Orchestrator b{inst_, slow};
+    const auto ca = a.ComputeConfig();
+    const auto cb = b.ComputeConfig();
+    ASSERT_EQ(ca.PrefixCount(), cb.PrefixCount()) << "threads=" << threads;
+    for (std::size_t p = 0; p < ca.PrefixCount(); ++p) {
+      EXPECT_EQ(ca.Sessions(p), cb.Sessions(p))
+          << "threads=" << threads << " prefix=" << p;
+    }
+  }
+}
+
+// Same equivalence once the model holds learned preferences and measured
+// RTTs — the regime where the aggregate fast path must detect that an
+// exclusion can fire and fall back to the from-scratch expectation.
+TEST_P(OrchestratorPropertyTest, IncrementalMatchesNaiveWithLearnedModel) {
+  OrchestratorConfig cfg;
+  cfg.prefix_budget = 6;
+  cfg.max_learning_iterations = 3;
+  Orchestrator learned{inst_, cfg};
+  SimEnvironment env{*w_.resolver, *w_.oracle, util::Rng{GetParam() + 9}};
+  (void)learned.Learn(env);
+  ASSERT_GT(learned.model().PreferenceCount() +
+                obs::Metrics().GetCounter("model.rtt_observations").Value(),
+            0u);
+
+  OrchestratorConfig naive_cfg = cfg;
+  naive_cfg.incremental_celf = false;
+  Orchestrator naive{inst_, naive_cfg};
+  naive.mutable_model() = learned.model();
+  const auto ca = learned.ComputeConfig();
+  const auto cb = naive.ComputeConfig();
+  ASSERT_EQ(ca.PrefixCount(), cb.PrefixCount());
+  for (std::size_t p = 0; p < ca.PrefixCount(); ++p) {
+    EXPECT_EQ(ca.Sessions(p), cb.Sessions(p)) << "prefix=" << p;
+  }
+}
+
+// The seed-marginal cache must actually engage: across a multi-prefix run,
+// later rounds reuse cached marginals (hits) and invalidate only peerings
+// whose UGs improved (invalidation counts stay below the all-dirty total).
+TEST_P(OrchestratorPropertyTest, SeedMarginalCacheEngages) {
+  OrchestratorConfig cfg;
+  // These fixture worlds are small and dense (most peerings serve an
+  // improved UG most rounds), so a deep budget is needed before clean
+  // peerings appear. Every seed yields hits by budget 8.
+  cfg.prefix_budget = 8;
+  Orchestrator orch{inst_, cfg};
+  const auto hits0 = obs::Metrics().GetCounter("orchestrator.celf.cache_hits").Value();
+  const auto inv0 =
+      obs::Metrics().GetCounter("orchestrator.celf.cache_invalidations").Value();
+  const auto config = orch.ComputeConfig();
+  ASSERT_GT(config.PrefixCount(), 1u);
+  const auto hits =
+      obs::Metrics().GetCounter("orchestrator.celf.cache_hits").Value() - hits0;
+  const auto invalidations =
+      obs::Metrics().GetCounter("orchestrator.celf.cache_invalidations").Value() -
+      inv0;
+  // Round 1 marks everything dirty; with every later round all-dirty too the
+  // hit count would be zero.
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(invalidations, 0u);
 }
 
 TEST_P(OrchestratorPropertyTest, RealizedNonNegativeAndBounded) {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Orchestrator performance gate.
+#
+# Builds bench/micro_orchestrator, runs its painter.bench.v1 report pass
+# (--report-only skips the google-benchmark suite), and diffs the fresh
+# report against the committed baseline in bench/results/ with
+# tools/bench_compare.py. A phase slowing down by more than the tolerance
+# fails the job.
+#
+# If no baseline exists yet, the fresh report is installed as the baseline
+# (commit it) and the job succeeds.
+#
+# Usage: tools/perf_check.sh [build-dir] [tolerance]
+#        (defaults: build, 0.25 = 25% allowed slowdown per phase)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TOLERANCE="${2:-0.25}"
+BASELINE=bench/results/BENCH_micro_orchestrator.baseline.json
+REPORT_DIR="$BUILD_DIR/bench_reports"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target micro_orchestrator
+
+mkdir -p "$REPORT_DIR"
+PAINTER_REPORT_DIR="$REPORT_DIR" \
+  "$BUILD_DIR"/bench/micro_orchestrator --report-only
+REPORT="$REPORT_DIR/BENCH_micro_orchestrator.json"
+
+if [[ ! -f "$BASELINE" ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$REPORT" "$BASELINE"
+  echo "No baseline found; installed $REPORT as $BASELINE — commit it."
+  exit 0
+fi
+
+tools/bench_compare.py "$BASELINE" "$REPORT" --tolerance "$TOLERANCE"
+echo "Perf check passed against $BASELINE."
