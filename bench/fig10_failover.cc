@@ -11,7 +11,7 @@
 #include "bgpsim/dynamics.h"
 #include "bgpsim/session_sim.h"
 #include "obs/report.h"
-#include "tm/failover_scenario.h"
+#include "faultsim/failover_scenario.h"
 #include "util/stats.h"
 #include "util/table.h"
 

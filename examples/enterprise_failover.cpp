@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "netsim/path.h"
-#include "tm/failover_scenario.h"
+#include "faultsim/failover_scenario.h"
 #include "tm/tm_edge.h"
 #include "tm/tm_pop.h"
 #include "util/table.h"

@@ -1,0 +1,53 @@
+// BGP-layer fault replay: compiles a FaultPlan's session events onto the
+// message-level BGP simulation.
+//
+// kPeeringWithdraw withdraws the target neighbor's announcement at the
+// event start and re-announces when the window closes; kBgpSessionFlap runs
+// several withdraw/re-announce cycles across the window (session bounce).
+// Both replay real UPDATE/WITHDRAW processing — Adj-RIB-In, loop
+// prevention, MRAI pacing — through bgpsim::MessageLevelSim, so path
+// exploration and churn are genuine, not modelled.
+//
+// The invariant on this layer: once every event has cleared and the event
+// queue drains, each AS's chosen route must equal the static Gao–Rexford
+// fixpoint for the full announcement — the dynamics may wander but must
+// come home.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bgpsim/session_sim.h"
+#include "faultsim/fault_plan.h"
+#include "netsim/sim.h"
+#include "topo/as_graph.h"
+
+namespace painter::faultsim {
+
+struct BgpReplayStats {
+  std::size_t withdraw_ops = 0;
+  std::size_t announce_ops = 0;
+  std::size_t events_applied = 0;
+};
+
+// Schedules the plan's BGP events relative to the simulator's current time
+// (event at start_s fires at Now() + start_s). `neighbors` indexes the
+// event targets (taken modulo its size); `bgp` must already have announced
+// to all of them. Also bumps `faultsim.injected.<type>` counters. Every
+// scheduled sequence ends re-announced, so a quiesced run converges to the
+// full announcement.
+BgpReplayStats ScheduleBgpFaults(const FaultPlan& plan,
+                                 const std::vector<util::AsId>& neighbors,
+                                 bgpsim::MessageLevelSim& bgp,
+                                 netsim::Simulator& sim, int flap_cycles = 2);
+
+// Post-quiescence check: every AS's best route under `bgp` matches the
+// static engine fixpoint for `announced`. Returns one message per
+// mismatching AS (empty = converged). Bumps `faultsim.violations`.
+[[nodiscard]] std::vector<std::string> CheckBgpConvergence(
+    const topo::AsGraph& graph, util::AsId origin,
+    const std::vector<util::AsId>& announced,
+    const bgpsim::MessageLevelSim& bgp);
+
+}  // namespace painter::faultsim

@@ -7,14 +7,22 @@
 // blackholes for ~1 s, then reconverges through PoP-B with degraded latency
 // until BGP settles ~15 s later. The TM-Edge should detect the loss within
 // ~1.3 RTT and switch to the next-best prefix at PoP-B.
+//
+// Since the faultsim refactor this is a thin wrapper: Fig10Spec() declares
+// the world (tunnels, base paths, client flows) and Fig10Plan() expresses
+// "PoP-A dies at fail_at_s" as a one-event FaultPlan; RunFailoverScenario()
+// runs them through the plan-driven engine. The failover golden test pins
+// the pre-refactor numbers bit for bit.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "faultsim/fault_plan.h"
+#include "faultsim/scenario.h"
 #include "tm/tm_edge.h"
 
-namespace painter::tm {
+namespace painter::faultsim {
 
 struct FailoverScenarioConfig {
   double run_for_s = 128.0;
@@ -32,7 +40,7 @@ struct FailoverScenarioConfig {
   double anycast_converge_s = 15.0;       // churn duration until final path
   double anycast_delay_after_s = 0.024;   // settled path via PoP-B
 
-  TmEdge::Config edge;
+  tm::TmEdge::Config edge;
   // Client traffic: one long-lived flow plus periodic short flows.
   std::size_t flow_packets = 2000;
   double flow_packet_interval_s = 0.05;
@@ -40,8 +48,8 @@ struct FailoverScenarioConfig {
 
 struct FailoverScenarioResult {
   std::vector<std::string> tunnel_names;
-  std::vector<TmEdge::Sample> samples;
-  std::vector<TmEdge::FailoverEvent> failovers;
+  std::vector<tm::TmEdge::Sample> samples;
+  std::vector<tm::TmEdge::FailoverEvent> failovers;
   // Time from the failure to the TM-Edge switching away from the dead
   // prefix; negative if it never switched.
   double detection_delay_s = -1.0;
@@ -51,7 +59,25 @@ struct FailoverScenarioResult {
   std::size_t pop_b_data_packets = 0;
 };
 
+// The Fig. 10 world: PoPs {A, B}, the anycast/chosen/alternate tunnels with
+// their fault-free base paths (the anycast reroute profile is part of the
+// base path — it is BGP behaviour, not an injected fault), and the client
+// flows. Usable as a template world for chaos plans beyond Fig. 10.
+[[nodiscard]] FaultScenarioSpec Fig10Spec(const FailoverScenarioConfig& config);
+
+// The scripted failure as a plan: one permanent kTmPopOutage of PoP-A at
+// fail_at_s.
+[[nodiscard]] FaultPlan Fig10Plan(const FailoverScenarioConfig& config);
+
 [[nodiscard]] FailoverScenarioResult RunFailoverScenario(
     const FailoverScenarioConfig& config);
 
+}  // namespace painter::faultsim
+
+// The scenario began life in painter::tm and is used from there throughout
+// the tests, benches, and examples; keep those spellings valid.
+namespace painter::tm {
+using faultsim::FailoverScenarioConfig;
+using faultsim::FailoverScenarioResult;
+using faultsim::RunFailoverScenario;
 }  // namespace painter::tm

@@ -1,0 +1,156 @@
+#include "faultsim/fault_injector.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "util/hashmix.h"
+
+namespace painter::faultsim {
+namespace {
+
+// Deterministic uniform draw in [0, 1) from mixed identifiers. Used for loss
+// decisions so that injected randomness never touches the TmEdge RNG stream.
+double HashUniform(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                   std::uint64_t d) {
+  const std::uint64_t h = util::MixSeed(a, b, c, d);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Packet identity for the loss draw: probes are identified by probe_id, data
+// packets by their inner flow and per-flow ordinal proxy (send time bits).
+std::uint64_t PacketTag(const netsim::Packet& p) {
+  if (p.kind != netsim::PacketKind::kData) return p.probe_id;
+  const std::uint64_t flow =
+      (static_cast<std::uint64_t>(p.inner.src_ip) << 32) | p.inner.dst_ip;
+  const std::uint64_t ports =
+      (static_cast<std::uint64_t>(p.inner.src_port) << 16) | p.inner.dst_port;
+  return util::MixSeed(flow, ports);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, std::vector<int> tunnel_pop)
+    : plan_(std::move(plan)), tunnel_pop_(std::move(tunnel_pop)) {}
+
+bool FaultInjector::EventHitsTunnel(const FaultEvent& ev,
+                                    std::size_t tunnel) const {
+  switch (ev.type) {
+    case FaultType::kLinkDegrade:
+    case FaultType::kProbeBlackhole:
+      return ev.target == static_cast<int>(tunnel);
+    case FaultType::kTmPopOutage:
+    case FaultType::kIngressBrownout:
+      return tunnel < tunnel_pop_.size() &&
+             ev.target == tunnel_pop_[tunnel];
+    case FaultType::kBgpSessionFlap:
+    case FaultType::kPeeringWithdraw:
+      return false;  // BGP-layer events; see bgp_replay.h
+  }
+  return false;
+}
+
+bool FaultInjector::HardDownAt(std::size_t tunnel, double t) const {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.type == FaultType::kTmPopOutage && EventHitsTunnel(ev, tunnel) &&
+        ev.ActiveAt(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::DelayFactorAt(std::size_t tunnel, double t) const {
+  double factor = 1.0;
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.type == FaultType::kLinkDegrade && EventHitsTunnel(ev, tunnel) &&
+        ev.ActiveAt(t)) {
+      factor *= 1.0 + 2.0 * ev.severity;
+    }
+  }
+  return factor;
+}
+
+double FaultInjector::LossProbAt(std::size_t tunnel, double t) const {
+  double pass = 1.0;  // probability the packet survives every active event
+  for (const FaultEvent& ev : plan_.events) {
+    if (!EventHitsTunnel(ev, tunnel) || !ev.ActiveAt(t)) continue;
+    if (ev.type == FaultType::kLinkDegrade) {
+      pass *= 1.0 - 0.3 * ev.severity;
+    } else if (ev.type == FaultType::kIngressBrownout) {
+      pass *= 1.0 - std::min(ev.severity, 0.9);
+    }
+  }
+  return 1.0 - pass;
+}
+
+bool FaultInjector::ProbesBlackholedAt(std::size_t tunnel, double t) const {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.type == FaultType::kProbeBlackhole && EventHitsTunnel(ev, tunnel) &&
+        ev.ActiveAt(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::PerceivedDownAt(std::size_t tunnel, double t) const {
+  return HardDownAt(tunnel, t) || ProbesBlackholedAt(tunnel, t);
+}
+
+netsim::PathModel FaultInjector::WrapPath(std::size_t tunnel,
+                                          netsim::PathModel base) const {
+  // Fast path: nothing in the plan ever touches this tunnel's path.
+  const bool touched = std::any_of(
+      plan_.events.begin(), plan_.events.end(), [&](const FaultEvent& ev) {
+        return EventHitsTunnel(ev, tunnel) &&
+               (ev.type == FaultType::kTmPopOutage ||
+                ev.type == FaultType::kLinkDegrade);
+      });
+  if (!touched) return base;
+
+  return netsim::PathModel::Overlay(
+      std::move(base),
+      [this, tunnel](double now,
+                     std::optional<double> delay) -> std::optional<double> {
+        if (!delay.has_value()) return std::nullopt;
+        if (HardDownAt(tunnel, now)) return std::nullopt;
+        return *delay * DelayFactorAt(tunnel, now);
+      });
+}
+
+std::function<bool(const netsim::Packet&, double)> FaultInjector::AdmitFilter(
+    std::size_t tunnel) const {
+  const bool touched = std::any_of(
+      plan_.events.begin(), plan_.events.end(), [&](const FaultEvent& ev) {
+        return EventHitsTunnel(ev, tunnel) &&
+               (ev.type == FaultType::kProbeBlackhole ||
+                ev.type == FaultType::kLinkDegrade ||
+                ev.type == FaultType::kIngressBrownout);
+      });
+  if (!touched) return nullptr;
+
+  const std::uint64_t seed = plan_.seed;
+  return [this, tunnel, seed](const netsim::Packet& p, double now) {
+    if (p.kind == netsim::PacketKind::kProbe &&
+        ProbesBlackholedAt(tunnel, now)) {
+      return false;
+    }
+    const double loss = LossProbAt(tunnel, now);
+    if (loss <= 0.0) return true;
+    return HashUniform(seed, tunnel, std::bit_cast<std::uint64_t>(now),
+                       PacketTag(p)) >= loss;
+  };
+}
+
+std::array<std::size_t, kFaultTypeCount> FaultInjector::InjectedTmCounts()
+    const {
+  std::array<std::size_t, kFaultTypeCount> counts{};
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.IsBgp()) continue;
+    counts[static_cast<std::size_t>(ev.type)] += 1;
+  }
+  return counts;
+}
+
+}  // namespace painter::faultsim

@@ -1,0 +1,81 @@
+// Compiles a FaultPlan into hooks on the existing layers.
+//
+// The injector owns no simulation state of its own — it turns the plan's
+// typed events into:
+//  - netsim perturbations: a PathModel::Overlay per tunnel that masks the
+//    base path during TM-PoP outages and inflates delay during link
+//    degradation,
+//  - TM-Edge admission filters: probe blackholing and probabilistic loss
+//    (link degrade / ingress brownout), drawn deterministically from
+//    (plan seed, tunnel, packet identity) via hash mixing — never from the
+//    TmEdge's own RNG, so a plan with no events leaves behaviour
+//    bit-identical to an un-injected run,
+//  - bgpsim replay: see bgp_replay.h for the UPDATE/WITHDRAW schedule.
+//
+// Per-type severity semantics (severity in [0, 1]):
+//   kLinkDegrade:     one-way delay x (1 + 2*severity); forward loss with
+//                     probability 0.3*severity
+//   kProbeBlackhole:  probes (not data) dropped on the forward direction
+//   kTmPopOutage:     every tunnel of the PoP hard-down (severity ignored)
+//   kIngressBrownout: forward loss with probability min(severity, 0.9) on
+//                     every tunnel of the PoP — partial, so the TM-Edge may
+//                     legitimately ride it out
+//
+// The deterministic component (hard-down windows, delay factors, loss
+// probabilities, blackhole windows) is exposed for the invariant checker,
+// which must reason about what the plan *did* without re-running it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "faultsim/fault_plan.h"
+#include "netsim/packet.h"
+#include "netsim/path.h"
+
+namespace painter::faultsim {
+
+class FaultInjector {
+ public:
+  // `tunnel_pop[i]` is the PoP index hosting tunnel i (PoP-targeted events
+  // fan out to every tunnel of the PoP).
+  FaultInjector(FaultPlan plan, std::vector<int> tunnel_pop);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t TunnelCount() const { return tunnel_pop_.size(); }
+
+  // netsim hook: the tunnel's effective path under the plan.
+  [[nodiscard]] netsim::PathModel WrapPath(std::size_t tunnel,
+                                           netsim::PathModel base) const;
+
+  // tm hook: forward-direction admission filter (TunnelConfig::admit).
+  // Deterministic in (packet, send time); null-equivalent when the plan has
+  // no loss/blackhole events for this tunnel.
+  [[nodiscard]] std::function<bool(const netsim::Packet&, double)> AdmitFilter(
+      std::size_t tunnel) const;
+
+  // Deterministic views for the invariant checker.
+  [[nodiscard]] bool HardDownAt(std::size_t tunnel, double t) const;
+  [[nodiscard]] double DelayFactorAt(std::size_t tunnel, double t) const;
+  [[nodiscard]] double LossProbAt(std::size_t tunnel, double t) const;
+  [[nodiscard]] bool ProbesBlackholedAt(std::size_t tunnel, double t) const;
+  // Hard-down or probe-blackholed: the TM-Edge *must* perceive the tunnel as
+  // dead (unanswered probes), bounding its detection latency.
+  [[nodiscard]] bool PerceivedDownAt(std::size_t tunnel, double t) const;
+
+  // Events applicable to the TM scenario (non-BGP, valid target), counted
+  // per type — the `faultsim.injected.*` series.
+  [[nodiscard]] std::array<std::size_t, kFaultTypeCount> InjectedTmCounts()
+      const;
+
+ private:
+  [[nodiscard]] bool EventHitsTunnel(const FaultEvent& ev,
+                                     std::size_t tunnel) const;
+
+  FaultPlan plan_;
+  std::vector<int> tunnel_pop_;
+};
+
+}  // namespace painter::faultsim

@@ -1,0 +1,115 @@
+#include "faultsim/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/hashmix.h"
+#include "util/rng.h"
+
+namespace painter::faultsim {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kLinkDegrade: return "link_degrade";
+    case FaultType::kProbeBlackhole: return "probe_blackhole";
+    case FaultType::kBgpSessionFlap: return "bgp_session_flap";
+    case FaultType::kPeeringWithdraw: return "peering_withdraw";
+    case FaultType::kTmPopOutage: return "tm_pop_outage";
+    case FaultType::kIngressBrownout: return "ingress_brownout";
+  }
+  return "unknown";
+}
+
+double FaultPlan::LastClearS() const {
+  double last = 0.0;
+  for (const FaultEvent& ev : events) last = std::max(last, ev.end_s());
+  return last;
+}
+
+bool FaultPlan::HasBgpEvents() const {
+  return std::any_of(events.begin(), events.end(),
+                     [](const FaultEvent& ev) { return ev.IsBgp(); });
+}
+
+bool FaultPlan::HasTmEvents() const {
+  return std::any_of(events.begin(), events.end(),
+                     [](const FaultEvent& ev) { return !ev.IsBgp(); });
+}
+
+FaultPlan GenerateRandomPlan(std::uint64_t seed, const PlanSpec& spec) {
+  // A dedicated stream derived from the seed: the plan does not perturb (and
+  // is not perturbed by) any other draw in the run.
+  util::Rng rng{util::MixSeed(seed, 0xFA017D1AULL)};  // "fault plan" stream
+  FaultPlan plan;
+  plan.seed = seed;
+
+  std::vector<FaultType> drawable;
+  if (spec.tunnels > 0) {
+    drawable.push_back(FaultType::kLinkDegrade);
+    drawable.push_back(FaultType::kProbeBlackhole);
+  }
+  if (spec.pops > 0) {
+    drawable.push_back(FaultType::kTmPopOutage);
+    drawable.push_back(FaultType::kIngressBrownout);
+  }
+  if (spec.neighbors > 0) {
+    drawable.push_back(FaultType::kBgpSessionFlap);
+    drawable.push_back(FaultType::kPeeringWithdraw);
+  }
+  if (drawable.empty()) return plan;
+
+  const std::size_t count = static_cast<std::size_t>(rng.UniformInt(
+      static_cast<std::int64_t>(spec.min_events),
+      static_cast<std::int64_t>(spec.max_events)));
+  plan.events.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    FaultEvent ev;
+    ev.type = drawable[rng.Index(drawable.size())];
+    ev.start_s = rng.Uniform(spec.earliest_s, spec.latest_s);
+    ev.duration_s = rng.Uniform(spec.min_duration_s, spec.max_duration_s);
+    ev.severity = rng.Uniform(spec.min_severity, spec.max_severity);
+    switch (ev.type) {
+      case FaultType::kLinkDegrade:
+      case FaultType::kProbeBlackhole:
+        ev.target = static_cast<int>(rng.Index(spec.tunnels));
+        break;
+      case FaultType::kTmPopOutage:
+      case FaultType::kIngressBrownout:
+        ev.target = static_cast<int>(rng.Index(spec.pops));
+        break;
+      case FaultType::kBgpSessionFlap:
+      case FaultType::kPeeringWithdraw:
+        ev.target = static_cast<int>(rng.Index(spec.neighbors));
+        break;
+    }
+    plan.events.push_back(ev);
+  }
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.start_s != b.start_s) return a.start_s < b.start_s;
+              if (a.type != b.type) return a.type < b.type;
+              return a.target < b.target;
+            });
+  return plan;
+}
+
+std::string ToString(const FaultPlan& plan) {
+  std::string out = "plan seed=" + std::to_string(plan.seed) + ":";
+  if (plan.events.empty()) return out + " (no events)";
+  char buf[128];
+  for (const FaultEvent& ev : plan.events) {
+    const char* domain = ev.IsBgp() ? "nbr"
+                         : (ev.type == FaultType::kTmPopOutage ||
+                            ev.type == FaultType::kIngressBrownout)
+                             ? "pop"
+                             : "tun";
+    std::snprintf(buf, sizeof(buf), " %s(%s=%d t=%.3f+%.3f sev=%.2f);",
+                  FaultTypeName(ev.type), domain, ev.target, ev.start_s,
+                  ev.duration_s, ev.severity);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace painter::faultsim

@@ -1,0 +1,95 @@
+// Seed-deterministic fault plans.
+//
+// PAINTER's robustness claims (§5.2.3–§5.2.4) are about behaviour *under
+// failure*: TM-Edge fails over between advertised prefixes at RTT timescales
+// while anycast suffers seconds of unreachability, and the exposed path
+// diversity routes around failures SD-WAN cannot. A FaultPlan is a typed,
+// seedable schedule of adversarial events — the generative counterpart of
+// the single scripted PoP withdrawal in the original Fig. 10 scenario. Every
+// plan is a pure function of its seed (no wall-clock, fixed-order
+// iteration), so any plan that violates an invariant is a one-line repro.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace painter::faultsim {
+
+enum class FaultType : std::uint8_t {
+  kLinkDegrade = 0,   // one tunnel's path: delay inflation + random loss
+  kProbeBlackhole,    // one tunnel: probes dropped, data still flows
+  kBgpSessionFlap,    // one neighbor's BGP session bounces (withdraw/announce)
+  kPeeringWithdraw,   // one neighbor's announcement withdrawn for the window
+  kTmPopOutage,       // a TM-PoP dies: every tunnel it hosts goes dark
+  kIngressBrownout,   // partial loss on every tunnel of one PoP
+};
+inline constexpr std::size_t kFaultTypeCount = 6;
+
+// Stable lowercase name used in metrics (`faultsim.injected.<name>`) and
+// plan repro lines.
+[[nodiscard]] const char* FaultTypeName(FaultType type);
+
+struct FaultEvent {
+  FaultType type = FaultType::kLinkDegrade;
+  double start_s = 0.0;
+  // Window length; <= 0 means the fault never clears.
+  double duration_s = -1.0;
+  // In [0, 1]; per-type meaning documented on FaultInjector.
+  double severity = 1.0;
+  // Tunnel index (kLinkDegrade, kProbeBlackhole), PoP index (kTmPopOutage,
+  // kIngressBrownout), or neighbor index (BGP events).
+  int target = 0;
+
+  [[nodiscard]] double end_s() const {
+    return duration_s <= 0.0 ? std::numeric_limits<double>::infinity()
+                             : start_s + duration_s;
+  }
+  [[nodiscard]] bool ActiveAt(double t) const {
+    return t >= start_s && t < end_s();
+  }
+  [[nodiscard]] bool IsBgp() const {
+    return type == FaultType::kBgpSessionFlap ||
+           type == FaultType::kPeeringWithdraw;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+
+  // When the last fault clears: 0 with no events, +inf if any is permanent.
+  [[nodiscard]] double LastClearS() const;
+  [[nodiscard]] bool HasBgpEvents() const;
+  [[nodiscard]] bool HasTmEvents() const;
+};
+
+// Target-domain sizes and ranges for the generator. A type is only drawn
+// when its target domain is non-empty (e.g. no BGP events with zero
+// neighbors).
+struct PlanSpec {
+  std::size_t min_events = 1;
+  std::size_t max_events = 5;
+  double earliest_s = 5.0;   // first possible event start
+  double latest_s = 60.0;    // last possible event start
+  double min_duration_s = 1.0;
+  double max_duration_s = 15.0;
+  double min_severity = 0.2;
+  double max_severity = 1.0;
+  std::size_t tunnels = 0;
+  std::size_t pops = 0;
+  std::size_t neighbors = 0;
+};
+
+// Draws a plan from `seed` alone: same (seed, spec) -> same plan, bit for
+// bit. Events come out sorted by (start, type, target).
+[[nodiscard]] FaultPlan GenerateRandomPlan(std::uint64_t seed,
+                                           const PlanSpec& spec);
+
+// One-line repro form, e.g.
+//   plan seed=7: tm_pop_outage(pop=1 t=12.50+4.20 sev=1.00); ...
+[[nodiscard]] std::string ToString(const FaultPlan& plan);
+
+}  // namespace painter::faultsim

@@ -1,0 +1,260 @@
+#include "faultsim/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace painter::faultsim {
+namespace {
+
+// Chosen tunnel strictly before time t, reconstructed from the failover log
+// (exact switch times, unlike the coarse sample grid).
+int ChosenBefore(const std::vector<tm::TmEdge::FailoverEvent>& failovers,
+                 double t) {
+  int chosen = -1;
+  for (const auto& ev : failovers) {
+    if (ev.t < t) {
+      chosen = ev.to;
+    } else {
+      break;
+    }
+  }
+  return chosen;
+}
+
+std::string Fmt(const char* fmt, double a, double b = 0.0, double c = 0.0) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b, c);
+  return buf;
+}
+
+}  // namespace
+
+InvariantReport CheckTmInvariants(const FaultScenarioSpec& spec,
+                                  const FaultPlan& plan,
+                                  const FaultScenarioResult& result,
+                                  const InvariantConfig& config) {
+  InvariantReport rep;
+  obs::Counter& violations_counter =
+      obs::Metrics().GetCounter("faultsim.violations");
+  const auto violate = [&](const std::string& what) {
+    rep.violations.push_back(what + "  [" + ToString(plan) + "]");
+    violations_counter.Add();
+  };
+
+  std::vector<int> tunnel_pop;
+  for (const ScenarioTunnel& t : spec.tunnels) tunnel_pop.push_back(t.pop);
+  const FaultInjector injector{plan, std::move(tunnel_pop)};
+  const std::size_t n_tunnels = spec.tunnels.size();
+
+  // ---- 1. Pinning: a flow's tunnel never changes once assigned. ----
+  std::map<netsim::FlowKey, int> pinned;
+  for (const auto& snap : result.pinning) {
+    for (const auto& [key, tunnel] : snap.flow_tunnels) {
+      ++rep.checks;
+      const auto [it, inserted] = pinned.emplace(key, tunnel);
+      if (!inserted && it->second != tunnel) {
+        violate(Fmt("pinning: flow re-mapped from tunnel %.0f to %.0f at t=%.2f",
+                    static_cast<double>(it->second),
+                    static_cast<double>(tunnel), snap.t));
+      }
+    }
+  }
+  for (const auto& [key, stats] : result.flow_stats) {
+    const auto it = pinned.find(key);
+    if (it != pinned.end() && stats.tunnel != it->second) {
+      ++rep.checks;
+      violate("pinning: final flow table disagrees with observed pinning");
+    }
+  }
+
+  // ---- Perceived-down timelines on a fine grid. ----
+  const double grid = config.grid_s;
+  const std::size_t steps =
+      static_cast<std::size_t>(spec.run_for_s / grid) + 1;
+  std::vector<std::vector<bool>> down(n_tunnels);
+  for (std::size_t i = 0; i < n_tunnels; ++i) {
+    down[i].resize(steps);
+    for (std::size_t k = 0; k < steps; ++k) {
+      const double t = static_cast<double>(k) * grid;
+      down[i][k] =
+          !spec.tunnels[i].base_path.OneWayDelay(t).has_value() ||
+          injector.PerceivedDownAt(i, t);
+    }
+  }
+
+  // Last sampled RTT of tunnel i at or before time t (ms), or < 0 if none.
+  const auto last_rtt_ms = [&](std::size_t i, double t) {
+    double rtt = -1.0;
+    for (const auto& s : result.samples) {
+      if (s.t > t) break;
+      if (i < s.rtt_ms.size() && s.rtt_ms[i].has_value()) rtt = *s.rtt_ms[i];
+    }
+    return rtt;
+  };
+
+  // Detection bound after an onset at t0 for tunnel i: one probe interval to
+  // send the first doomed probe, plus the timeout it was armed with. The
+  // timeout derives from the RTT EWMA, which tracks the (possibly degraded,
+  // jittered) path; bound it by the worst deterministic RTT over the last
+  // second plus the configured jitter.
+  const auto detection_bound = [&](std::size_t i, double t0,
+                                   double sampled_rtt_ms) {
+    double rtt_ub_s = sampled_rtt_ms / 1000.0;
+    if (spec.tunnels[i].steady_delay_s > 0.0) {
+      double worst_factor = 1.0;
+      // Whole-history worst factor: the RTT EWMA can freeze at an inflated
+      // value through a blackhole window (no replies, no updates), so the
+      // timeout may be armed with a delay seen arbitrarily far back.
+      for (double t = 0.0; t <= t0; t += grid) {
+        worst_factor = std::max(worst_factor, injector.DelayFactorAt(i, t));
+      }
+      rtt_ub_s = std::max(
+          rtt_ub_s, 2.0 * spec.tunnels[i].steady_delay_s * worst_factor);
+    }
+    rtt_ub_s *= 1.0 + spec.edge.delay_jitter;
+    const double timeout =
+        std::max(spec.edge.min_probe_timeout_s,
+                 rtt_ub_s * spec.edge.failover_rtt_multiplier);
+    return spec.edge.probe_interval_s + timeout + config.detection_slack_s +
+           grid;
+  };
+
+  // ---- 2 + 3. Detection latency and no silent blackholing. ----
+  for (std::size_t i = 0; i < n_tunnels; ++i) {
+    for (std::size_t k = 1; k < steps; ++k) {
+      if (!down[i][k] || down[i][k - 1]) continue;  // not an up->down onset
+      const double t0 = static_cast<double>(k) * grid;
+      if (ChosenBefore(result.failovers, t0) != static_cast<int>(i)) continue;
+      const double rtt_ms = last_rtt_ms(i, t0);
+      if (rtt_ms < 0.0) continue;  // never measured: cold-start timeout rules
+      const double bound = detection_bound(i, t0, rtt_ms);
+
+      // The down window must outlast the bound, otherwise the edge may
+      // legitimately never notice.
+      const std::size_t k_bound =
+          k + static_cast<std::size_t>(bound / grid) + 1;
+      if (k_bound >= steps) continue;
+      bool down_throughout = true;
+      for (std::size_t kk = k; kk <= k_bound; ++kk) {
+        down_throughout = down_throughout && down[i][kk];
+      }
+      if (!down_throughout) continue;
+
+      // A live, clean, already-measured alternative must exist through the
+      // detection window for the bound to be demanded.
+      bool has_alternative = false;
+      for (std::size_t j = 0; j < n_tunnels && !has_alternative; ++j) {
+        if (j == i || last_rtt_ms(j, t0) < 0.0) continue;
+        bool clean = true;
+        for (std::size_t kk = k; kk <= k_bound && clean; ++kk) {
+          const double t = static_cast<double>(kk) * grid;
+          clean = !down[j][kk] && injector.LossProbAt(j, t) <= 0.0;
+        }
+        has_alternative = clean;
+      }
+      if (!has_alternative) continue;
+
+      ++rep.checks;
+      // First switch away from i at or after the (grid-resolved) onset.
+      double switched_at = -1.0;
+      for (const auto& ev : result.failovers) {
+        if (ev.from == static_cast<int>(i) && ev.t >= t0 - grid) {
+          switched_at = ev.t;
+          break;
+        }
+      }
+      if (switched_at < 0.0 || switched_at > t0 + bound) {
+        violate(Fmt("detection: tunnel down at t=%.3f not abandoned within "
+                    "%.1f ms (switched %+.1f ms)",
+                    t0, bound * 1000.0,
+                    switched_at < 0.0 ? -1.0 : (switched_at - t0) * 1000.0));
+      } else {
+        rep.detection_latencies_s.push_back(std::max(0.0, switched_at - t0));
+      }
+
+      // 3. No sample past the bound may still show i as chosen while the
+      // window persists.
+      const double window_end_k = [&] {
+        std::size_t kk = k;
+        while (kk + 1 < steps && down[i][kk + 1]) ++kk;
+        return static_cast<double>(kk) * grid;
+      }();
+      for (const auto& s : result.samples) {
+        if (s.t <= t0 + bound || s.t > window_end_k) continue;
+        ++rep.checks;
+        if (s.chosen == static_cast<int>(i)) {
+          violate(Fmt("blackhole: dead tunnel still chosen at t=%.2f "
+                      "(down since t=%.3f)",
+                      s.t, t0));
+        }
+      }
+    }
+  }
+
+  // ---- 4. Reconvergence to steady state after all TM faults clear. ----
+  double last_clear = 0.0;
+  for (const FaultEvent& ev : plan.events) {
+    if (!ev.IsBgp()) last_clear = std::max(last_clear, ev.end_s());
+  }
+  if (std::isfinite(last_clear) && !result.samples.empty()) {
+    const auto& final_sample = result.samples.back();
+    if (final_sample.t >= last_clear + config.settle_s) {
+      // Every tunnel whose fault-free path is up must be probed back up.
+      std::vector<std::size_t> eligible;
+      for (std::size_t j = 0; j < n_tunnels; ++j) {
+        if (!spec.tunnels[j].base_path.OneWayDelay(final_sample.t)
+                 .has_value()) {
+          continue;
+        }
+        eligible.push_back(j);
+        ++rep.checks;
+        if (j < final_sample.rtt_ms.size() &&
+            !final_sample.rtt_ms[j].has_value()) {
+          violate(Fmt("reconvergence: tunnel %.0f still down at t=%.2f after "
+                      "faults cleared at t=%.2f",
+                      static_cast<double>(j), final_sample.t, last_clear));
+        }
+      }
+
+      const bool steady_known =
+          !eligible.empty() &&
+          std::all_of(eligible.begin(), eligible.end(), [&](std::size_t j) {
+            return spec.tunnels[j].steady_delay_s > 0.0;
+          });
+      if (steady_known) {
+        ++rep.checks;
+        if (final_sample.chosen < 0) {
+          violate(Fmt("reconvergence: no tunnel chosen at t=%.2f with %.0f "
+                      "live tunnels",
+                      final_sample.t, static_cast<double>(eligible.size())));
+        } else {
+          // The incumbent may keep a within-hysteresis-margin worse tunnel;
+          // beyond margin + measurement jitter it must have moved back.
+          const double chosen_rtt =
+              2.0 * spec.tunnels[static_cast<std::size_t>(final_sample.chosen)]
+                        .steady_delay_s;
+          double best_rtt = chosen_rtt;
+          for (const std::size_t j : eligible) {
+            best_rtt = std::min(best_rtt, 2.0 * spec.tunnels[j].steady_delay_s);
+          }
+          const double margin =
+              spec.edge.switch_hysteresis_ms / 1000.0 +
+              spec.edge.delay_jitter * (chosen_rtt + best_rtt) + 1e-6;
+          if (chosen_rtt - best_rtt > margin) {
+            violate(Fmt("reconvergence: chosen RTT %.1f ms vs best %.1f ms "
+                        "exceeds hysteresis at end of run",
+                        chosen_rtt * 1000.0, best_rtt * 1000.0));
+          }
+        }
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace painter::faultsim

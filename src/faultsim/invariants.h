@@ -1,0 +1,62 @@
+// Machine-verifiable invariants over a fault-scenario run.
+//
+// The four properties the chaos runner and the property suite enforce after
+// every plan (§5.2.3's operational claims, turned into checks):
+//
+//  1. Pinning — a flow's tunnel (and therefore its TM-PoP) never changes
+//     after the flow starts (§3.2 immutable mapping).
+//  2. Detection latency — when the chosen tunnel becomes perceived-down
+//     (hard outage or probe blackhole) while a live, already-measured
+//     alternative exists, the TM-Edge switches away within
+//     probe_interval + 1.3 x RTT (plus explicit jitter/grid slack).
+//  3. No silent blackholing — past that detection bound, no sample may still
+//     show the dead tunnel as chosen.
+//  4. Reconvergence — after every fault clears and a settle period passes,
+//     every live tunnel is probed back up, and the chosen tunnel's
+//     steady-state RTT is within the hysteresis margin (plus measurement
+//     jitter) of the best available.
+//
+// The checker re-derives each tunnel's perceived-down timeline from the
+// spec's base paths and the injector's deterministic views on a fine time
+// grid; it never re-runs the simulation. Every violation message embeds
+// ToString(plan) — a one-line repro.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "faultsim/fault_injector.h"
+#include "faultsim/scenario.h"
+
+namespace painter::faultsim {
+
+struct InvariantConfig {
+  // Extra allowance on the detection bound: probe scheduling phase, the
+  // +/- delay jitter on the RTT the timeout is armed with, and the grid
+  // resolution used to locate the perceived-down onset.
+  double detection_slack_s = 0.010;
+  // Time after FaultPlan::LastClearS() before the reconvergence check; must
+  // cover a few probe intervals plus EWMA recovery.
+  double settle_s = 5.0;
+  // Resolution of the perceived-down timeline reconstruction.
+  double grid_s = 0.010;
+};
+
+struct InvariantReport {
+  std::size_t checks = 0;  // individual conditions evaluated
+  std::vector<std::string> violations;
+  // One entry per bounded up->down onset the checker demanded detection for:
+  // time from the onset to the edge switching away. The chaos runner
+  // aggregates these into the Fig. 10 detection-latency distribution.
+  std::vector<double> detection_latencies_s;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+// Checks all four invariants. Bumps the global `faultsim.violations`
+// counter once per violation found.
+[[nodiscard]] InvariantReport CheckTmInvariants(
+    const FaultScenarioSpec& spec, const FaultPlan& plan,
+    const FaultScenarioResult& result, const InvariantConfig& config = {});
+
+}  // namespace painter::faultsim

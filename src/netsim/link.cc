@@ -1,11 +1,19 @@
 #include "netsim/link.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace painter::netsim {
 
 QueuedLink::QueuedLink(Simulator& sim, Config config)
     : sim_(&sim), config_(config) {}
+
+void QueuedLink::SetCapacityFactor(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument{"SetCapacityFactor: factor must be > 0"};
+  }
+  capacity_factor_ = factor;
+}
 
 double QueuedLink::CurrentQueueingDelay() const {
   return std::max(0.0, busy_until_ - sim_->Now());
@@ -13,7 +21,7 @@ double QueuedLink::CurrentQueueingDelay() const {
 
 std::uint32_t QueuedLink::QueuedBytes() const {
   return static_cast<std::uint32_t>(CurrentQueueingDelay() *
-                                    config_.bandwidth_bytes_per_s);
+                                    EffectiveBandwidth());
 }
 
 bool QueuedLink::Send(const Packet& packet,
@@ -27,7 +35,7 @@ bool QueuedLink::Send(const Packet& packet,
   }
 
   const double start = std::max(now, busy_until_);
-  const double serialize = wire_bytes / config_.bandwidth_bytes_per_s;
+  const double serialize = wire_bytes / EffectiveBandwidth();
   busy_until_ = start + serialize;
 
   const double arrive_at = busy_until_ + config_.propagation_s;

@@ -35,6 +35,13 @@ class QueuedLink {
   // overflows. Returns false on drop.
   bool Send(const Packet& packet, std::function<void(const Packet&)> deliver);
 
+  // Degrades (factor < 1) or restores (factor = 1) the effective drain rate:
+  // a brownout on the ingress hop serves the same queue with less capacity,
+  // so RTT inflates and drops start earlier. Applies to subsequent sends;
+  // already-queued bytes keep their departure times. Factor must be > 0.
+  void SetCapacityFactor(double factor);
+  [[nodiscard]] double CapacityFactor() const { return capacity_factor_; }
+
   // Queueing delay a packet sent now would experience (excl. propagation).
   [[nodiscard]] double CurrentQueueingDelay() const;
 
@@ -47,9 +54,14 @@ class QueuedLink {
  private:
   void Drain(double now);
 
+  [[nodiscard]] double EffectiveBandwidth() const {
+    return config_.bandwidth_bytes_per_s * capacity_factor_;
+  }
+
   Simulator* sim_;
   Config config_;
   Stats stats_;
+  double capacity_factor_ = 1.0;
   // The transmit queue is modelled analytically: busy_until_ is when the
   // serializer frees up; queued bytes = what it still has to push.
   double busy_until_ = 0.0;

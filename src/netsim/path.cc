@@ -37,4 +37,14 @@ PathModel PathModel::Piecewise(std::vector<Segment> segments) {
   }};
 }
 
+PathModel PathModel::Overlay(PathModel base, OverlayFn overlay) {
+  if (!overlay) {
+    throw std::invalid_argument{"Overlay: empty overlay function"};
+  }
+  return PathModel{[base = std::move(base), overlay = std::move(overlay)](
+                       double now) -> std::optional<double> {
+    return overlay(now, base.OneWayDelay(now));
+  }};
+}
+
 }  // namespace painter::netsim

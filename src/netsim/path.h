@@ -40,6 +40,15 @@ class PathModel {
   };
   [[nodiscard]] static PathModel Piecewise(std::vector<Segment> segments);
 
+  // Wraps `base` with a transformation of its answer: the overlay sees the
+  // send time and the base delay and may pass it through, inflate it, or turn
+  // it into a loss (and vice versa). Fault injection composes path
+  // perturbations this way without touching the underlying model.
+  using OverlayFn =
+      std::function<std::optional<double>(double now_s,
+                                          std::optional<double> base_delay_s)>;
+  [[nodiscard]] static PathModel Overlay(PathModel base, OverlayFn overlay);
+
  private:
   PathDelayFn fn_;
 };

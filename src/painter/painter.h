@@ -61,9 +61,14 @@
 #include "netsim/packet.h"
 #include "netsim/path.h"
 #include "netsim/sim.h"
+#include "faultsim/bgp_replay.h"
+#include "faultsim/failover_scenario.h"
+#include "faultsim/fault_injector.h"
+#include "faultsim/fault_plan.h"
+#include "faultsim/invariants.h"
+#include "faultsim/scenario.h"
 #include "tm/congestion_scenario.h"
 #include "tm/control.h"
-#include "tm/failover_scenario.h"
 #include "tm/tm_edge.h"
 #include "tm/tm_pop.h"
 #include "topo/as_graph.h"

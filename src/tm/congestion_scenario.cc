@@ -18,13 +18,15 @@ CongestionScenarioResult RunCongestionScenario(
       .remote_ip = 0x02020202,
       .path = netsim::PathModel::Fixed(config.preferred_delay_s),
       .pop = &pop_a,
-      .bottleneck = &bottleneck});
+      .bottleneck = &bottleneck,
+      .admit = {}});
   tunnels.push_back(TunnelConfig{
       .name = "alternate (clean)",
       .remote_ip = 0x03030303,
       .path = netsim::PathModel::Fixed(config.alternate_delay_s),
       .pop = &pop_b,
-      .bottleneck = nullptr});
+      .bottleneck = nullptr,
+      .admit = {}});
 
   TmEdge edge{sim, config.edge, std::move(tunnels)};
   edge.Start();

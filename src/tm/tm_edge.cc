@@ -60,6 +60,9 @@ void TmEdge::SendViaTunnel(std::size_t i, netsim::Packet packet) {
                                  .dst_port = 4500,
                                  .proto = 17};
   packet.sent_at = sim_->Now();
+  if (tun.config.admit && !tun.config.admit(packet, sim_->Now())) {
+    return;  // injected fault: packet swallowed before entering the path
+  }
   const auto delay = tun.config.path.OneWayDelay(sim_->Now());
   if (!delay.has_value()) return;  // path down: packet lost in flight
 

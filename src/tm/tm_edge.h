@@ -8,6 +8,7 @@
 // fails over within ~1.3 RTT when the chosen path stops answering (§5.2.3).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,6 +33,12 @@ struct TunnelConfig {
   // and overload drops packets, which is how the TM-Edge senses congestion
   // on an ingress path (§1) without any explicit signal.
   netsim::QueuedLink* bottleneck = nullptr;
+  // Optional admission hook on the forward (edge→PoP) direction: returning
+  // false silently drops the packet before it enters the path. Fault
+  // injection uses this for probe blackholing and lossy brownouts; the hook
+  // must be deterministic in (packet, send time) — it runs before any RNG
+  // draw, so a null or all-pass hook leaves behaviour bit-identical.
+  std::function<bool(const netsim::Packet&, double now_s)> admit = nullptr;
 };
 
 class TmEdge {

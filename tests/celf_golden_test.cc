@@ -49,7 +49,7 @@ void ExpectGolden(const ProblemInstance& inst, std::size_t budget,
 }
 
 TEST(CelfGoldenSchedule, DefaultWorldBudget8) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const auto inst = test::MakeInstance(w);
   const Schedule golden{
       {9, 15, 18, 21, 41, 45, 46, 49, 50, 56, 82, 127, 129},
@@ -74,7 +74,7 @@ class CelfGoldenSeeds : public ::testing::TestWithParam<SeededGolden> {};
 
 TEST_P(CelfGoldenSeeds, Budget5) {
   const auto& param = GetParam();
-  const auto w = test::MakeWorld(param.seed, 130, 8);
+  const test::World& w = test::SharedWorld(param.seed, 130, 8);
   const auto inst = test::MakeInstance(w, param.seed + 77);
   ExpectGolden(inst, 5, param.golden);
 }

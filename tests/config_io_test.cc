@@ -80,7 +80,7 @@ TEST(ConfigIo, SkipsCommentsAndBlankLines) {
 }
 
 TEST(ConfigIo, ValidatesAgainstDeployment) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   AdvertisementConfig cfg;
   cfg.AddPrefix({w.deployment->peerings().front().id});
   const auto ok = ConfigFromString(ConfigToString(cfg), w.deployment.get());
@@ -95,7 +95,7 @@ TEST(ConfigIo, ValidatesAgainstDeployment) {
 }
 
 TEST(ConfigIo, OrchestratorOutputRoundTripsAgainstDeployment) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const auto inst = test::MakeInstance(w);
   OrchestratorConfig ocfg;
   ocfg.prefix_budget = 4;

@@ -173,7 +173,7 @@ TEST(RoutingModelTest, HasPreferencesPerUg) {
 }
 
 TEST(BuildInstance, MeasuredInstanceConsistentWithWorld) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const auto inst = test::MakeInstance(w);
   EXPECT_EQ(inst.UgCount(), w.deployment->ugs().size());
   EXPECT_EQ(inst.peering_count, w.deployment->peerings().size());
@@ -191,7 +191,7 @@ TEST(BuildInstance, MeasuredInstanceConsistentWithWorld) {
 }
 
 TEST(BuildInstance, InvertedIndexMatchesOptions) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const auto inst = test::MakeInstance(w);
   for (std::uint32_t g = 0; g < inst.peering_count; ++g) {
     for (std::uint32_t u : inst.ugs_with_peering[g]) {
@@ -201,7 +201,7 @@ TEST(BuildInstance, InvertedIndexMatchesOptions) {
 }
 
 TEST(BuildInstance, EstimatedInstanceCoversSubset) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const measure::GeoTargetCatalog targets{*w.oracle, {}};
   util::Rng rng{77};
   const auto est = core::BuildEstimatedInstance(

@@ -261,7 +261,7 @@ TEST(AdvertisementConfigTest, AddAndQuery) {
 }
 
 TEST(SimEnvironmentTest, ObservationsMatchResolver) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   SimEnvironment env{*w.resolver, *w.oracle, util::Rng{2}};
   AdvertisementConfig cfg;
   const util::PeeringId transit = w.deployment->TransitPeerings().front();

@@ -11,7 +11,7 @@ namespace painter::dnssim {
 namespace {
 
 TEST(Resolvers, EveryUgAssigned) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const auto assignment = AssignResolvers(*w.deployment, {});
   ASSERT_EQ(assignment.resolver_of_ug.size(), w.deployment->ugs().size());
   for (const auto r : assignment.resolver_of_ug) {
@@ -20,7 +20,7 @@ TEST(Resolvers, EveryUgAssigned) {
 }
 
 TEST(Resolvers, EcsFlagsMatchConfig) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   ResolverConfig cfg;
   cfg.ecs_resolver_count = 2;
   cfg.public_resolver_count = 5;
@@ -33,7 +33,7 @@ TEST(Resolvers, EcsFlagsMatchConfig) {
 }
 
 TEST(Resolvers, PublicResolversServeManyMetros) {
-  const auto w = test::MakeWorld(11, 400);
+  const test::World& w = test::SharedWorld(11, 400);
   ResolverConfig cfg;
   cfg.public_resolver_frac = 0.5;
   const auto assignment = AssignResolvers(*w.deployment, cfg);
@@ -48,7 +48,7 @@ TEST(Resolvers, PublicResolversServeManyMetros) {
 }
 
 TEST(Resolvers, LocalResolversServeOneMetro) {
-  const auto w = test::MakeWorld(11, 400);
+  const test::World& w = test::SharedWorld(11, 400);
   const auto assignment = AssignResolvers(*w.deployment, {});
   ResolverConfig cfg;
   std::unordered_map<std::uint32_t, std::set<std::uint32_t>> metros_of;
@@ -154,7 +154,7 @@ TEST_F(GranularityTest, PainterFinestControl) {
 TEST(DnsSteering, EcsMatchesPerFlowForSoleEcsPopulation) {
   // If every UG sits behind an ECS resolver, DNS steering equals PAINTER's
   // per-UG best (per-/24 == per-UG in our model).
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const auto inst = test::MakeInstance(w);
   core::OrchestratorConfig ocfg;
   ocfg.prefix_budget = 4;
@@ -175,7 +175,7 @@ TEST(DnsSteering, EcsMatchesPerFlowForSoleEcsPopulation) {
 TEST(DnsSteering, SharedResolverLosesBenefit) {
   // One non-ECS resolver for everyone: a single prefix must serve all UGs,
   // which cannot beat per-flow steering.
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   const auto inst = test::MakeInstance(w);
   core::OrchestratorConfig ocfg;
   ocfg.prefix_budget = 4;

@@ -1,0 +1,64 @@
+// Golden pin of the Fig. 10 failover scenario (§5.2.3).
+//
+// The values below were captured from RunFailoverScenario BEFORE the
+// scenario was rebuilt on the faultsim plan-driven engine, with EXPECT_EQ on
+// raw doubles — not EXPECT_NEAR. The refactor routed the scripted PoP-A
+// failure through FaultInjector (PathModel::Overlay + admission hooks), and
+// the contract is that a plan reproducing the old schedule is BIT-IDENTICAL
+// to the old hand-written run: same RNG draw sequence, same event order,
+// same floating-point results. Any drift here means the engine perturbed
+// Fig. 10 behaviour and the figure can no longer be trusted.
+#include "faultsim/failover_scenario.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace painter::faultsim {
+namespace {
+
+TEST(FailoverGolden, DefaultConfigBitIdenticalToPreRefactor) {
+  const FailoverScenarioResult r = RunFailoverScenario({});
+
+  EXPECT_EQ(r.failover_target, 2);  // best PoP-B prefix (24 ms one-way)
+  EXPECT_EQ(r.detection_delay_s, 0.026217206657634051);
+  EXPECT_EQ(r.pop_a_data_packets, 1180u);
+  EXPECT_EQ(r.pop_b_data_packets, 200u);
+  EXPECT_EQ(r.failovers.size(), 2u);
+  EXPECT_EQ(r.samples.size(), 257u);
+}
+
+TEST(FailoverGolden, DetectionLatencyAcrossSeedsBitIdentical) {
+  // Per-seed detection delays (seconds), run_for_s = 70, seeds 1..20.
+  const double kGolden[20] = {
+      0.026217206657634051, 0.026623536067390319, 0.026447720029999289,
+      0.026355767224927718, 0.026933934801803616, 0.026397546188491106,
+      0.026859387218451047, 0.02640523961068908,  0.025959755365242643,
+      0.026317066813447809, 0.026230075506767037, 0.026203385784008049,
+      0.026418496275454117, 0.027299250126510799, 0.026953215174017942,
+      0.026218261804608289, 0.02692894108502486,  0.026737238526997942,
+      0.026699207408647396, 0.026523576409793748};
+
+  std::vector<double> detections;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FailoverScenarioConfig cfg;
+    cfg.run_for_s = 70.0;
+    cfg.edge.seed = seed;
+    const FailoverScenarioResult r = RunFailoverScenario(cfg);
+    EXPECT_EQ(r.failover_target, 2) << "seed " << seed;
+    EXPECT_EQ(r.detection_delay_s, kGolden[seed - 1]) << "seed " << seed;
+    detections.push_back(r.detection_delay_s);
+  }
+
+  // The Fig. 10 headline: median detection latency ~1 RTT of the dead path
+  // (RTT = 28 ms), far below anycast's seconds of unreachability.
+  std::sort(detections.begin(), detections.end());
+  const double median_s = 0.5 * (detections[9] + detections[10]);
+  const double median_rtts = median_s / (2.0 * 0.014);
+  EXPECT_GT(median_rtts, 0.8);
+  EXPECT_LT(median_rtts, 1.3);
+}
+
+}  // namespace
+}  // namespace painter::faultsim

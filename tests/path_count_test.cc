@@ -112,7 +112,7 @@ TEST(PathCount, OriginHasNoSelfCount) {
 TEST(PathCount, AtLeastOnePathWheneverBgpReaches) {
   // Consistency with the engine: if the stable outcome reaches an AS, at
   // least one valley-free path must exist for it.
-  auto w = test::MakeWorld(29, 150, 8);
+  const test::World& w = test::SharedWorld(29, 150, 8);
   const auto counts = CountValleyFreePaths(w.internet().graph,
                                            w.deployment->cloud_as());
   std::vector<util::PeeringId> all;
@@ -127,7 +127,7 @@ TEST(PathCount, AtLeastOnePathWheneverBgpReaches) {
 
 TEST(PathCount, MultihomingMultipliesPaths) {
   // More providers -> at least as many paths.
-  auto w = test::MakeWorld(31, 200, 8);
+  const test::World& w = test::SharedWorld(31, 200, 8);
   const auto counts = CountValleyFreePaths(w.internet().graph,
                                            w.deployment->cloud_as());
   const auto& g = w.internet().graph;

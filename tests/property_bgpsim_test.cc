@@ -62,7 +62,7 @@ bool ValleyFree(const topo::AsGraph& g, util::AsId start,
 class BgpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BgpPropertyTest, AnycastPathsAreValleyFree) {
-  auto w = test::MakeWorld(GetParam(), 120, 8);
+  const test::World& w = test::SharedWorld(GetParam(), 120, 8);
   std::vector<util::PeeringId> all;
   for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
   const auto result = w.resolver->ResolveWithRoutes(all);
@@ -75,7 +75,7 @@ TEST_P(BgpPropertyTest, AnycastPathsAreValleyFree) {
 }
 
 TEST_P(BgpPropertyTest, SubsetAnnouncementPathsAreValleyFree) {
-  auto w = test::MakeWorld(GetParam(), 120, 8);
+  const test::World& w = test::SharedWorld(GetParam(), 120, 8);
   util::Rng rng{GetParam() + 5};
   std::vector<util::PeeringId> subset;
   for (const auto& p : w.deployment->peerings()) {
@@ -91,7 +91,7 @@ TEST_P(BgpPropertyTest, SubsetAnnouncementPathsAreValleyFree) {
 }
 
 TEST_P(BgpPropertyTest, PropagationIsDeterministic) {
-  auto w = test::MakeWorld(GetParam(), 80, 6);
+  const test::World& w = test::SharedWorld(GetParam(), 80, 6);
   std::vector<util::PeeringId> all;
   for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
   const auto a = w.resolver->Resolve(all);
@@ -101,7 +101,7 @@ TEST_P(BgpPropertyTest, PropagationIsDeterministic) {
 
 TEST_P(BgpPropertyTest, SupersetNeverLosesReachability) {
   // Announcing via more sessions can only keep or gain reachability.
-  auto w = test::MakeWorld(GetParam(), 100, 6);
+  const test::World& w = test::SharedWorld(GetParam(), 100, 6);
   util::Rng rng{GetParam() + 9};
   std::vector<util::PeeringId> small;
   std::vector<util::PeeringId> big;
@@ -121,7 +121,7 @@ TEST_P(BgpPropertyTest, SupersetNeverLosesReachability) {
 }
 
 TEST_P(BgpPropertyTest, EntryAsAlwaysDirectlyAnnounced) {
-  auto w = test::MakeWorld(GetParam(), 100, 6);
+  const test::World& w = test::SharedWorld(GetParam(), 100, 6);
   util::Rng rng{GetParam() + 13};
   std::vector<util::PeeringId> subset;
   std::set<std::uint32_t> announced_as;
@@ -142,7 +142,7 @@ TEST_P(BgpPropertyTest, EntryAsAlwaysDirectlyAnnounced) {
 }
 
 TEST_P(BgpPropertyTest, PathLengthMatchesRouteMetadata) {
-  auto w = test::MakeWorld(GetParam(), 80, 6);
+  const test::World& w = test::SharedWorld(GetParam(), 80, 6);
   std::vector<util::PeeringId> all;
   for (const auto& p : w.deployment->peerings()) all.push_back(p.id);
   const auto result = w.resolver->ResolveWithRoutes(all);

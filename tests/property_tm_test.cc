@@ -3,7 +3,7 @@
 // the state machine must respect its invariants under randomized paths.
 #include <gtest/gtest.h>
 
-#include "tm/failover_scenario.h"
+#include "faultsim/failover_scenario.h"
 #include "util/rng.h"
 
 namespace painter::tm {

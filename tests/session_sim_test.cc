@@ -41,7 +41,7 @@ void ExpectMatchesEngine(const test::World& w,
 class SessionSimTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SessionSimTest, ConvergesToStaticEngineFixpointFullAnnounce) {
-  auto w = test::MakeWorld(GetParam(), 100, 6);
+  const test::World& w = test::SharedWorld(GetParam(), 100, 6);
   netsim::Simulator sim;
   MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
                        {.seed = GetParam()}};
@@ -53,7 +53,7 @@ TEST_P(SessionSimTest, ConvergesToStaticEngineFixpointFullAnnounce) {
 }
 
 TEST_P(SessionSimTest, ConvergesToStaticEngineOnSubsets) {
-  auto w = test::MakeWorld(GetParam(), 100, 6);
+  const test::World& w = test::SharedWorld(GetParam(), 100, 6);
   util::Rng pick{GetParam() + 31};
   const auto all = NeighborAses(w);
   std::vector<util::AsId> subset;
@@ -71,7 +71,7 @@ TEST_P(SessionSimTest, ConvergesToStaticEngineOnSubsets) {
 }
 
 TEST_P(SessionSimTest, WithdrawalReconvergesToReducedAnnouncement) {
-  auto w = test::MakeWorld(GetParam(), 100, 6);
+  const test::World& w = test::SharedWorld(GetParam(), 100, 6);
   const auto all = NeighborAses(w);
   ASSERT_GT(all.size(), 2u);
   // Withdraw roughly half of the sessions (keep at least one).
@@ -97,7 +97,7 @@ TEST_P(SessionSimTest, WithdrawalReconvergesToReducedAnnouncement) {
 }
 
 TEST_P(SessionSimTest, FullWithdrawalEmptiesEveryRib) {
-  auto w = test::MakeWorld(GetParam(), 80, 5);
+  const test::World& w = test::SharedWorld(GetParam(), 80, 5);
   const auto all = NeighborAses(w);
   netsim::Simulator sim;
   MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
@@ -113,7 +113,7 @@ TEST_P(SessionSimTest, FullWithdrawalEmptiesEveryRib) {
 }
 
 TEST_P(SessionSimTest, NoBestPathEverLoops) {
-  auto w = test::MakeWorld(GetParam(), 80, 5);
+  const test::World& w = test::SharedWorld(GetParam(), 80, 5);
   netsim::Simulator sim;
   MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
                        {.seed = GetParam()}};
@@ -132,7 +132,7 @@ TEST_P(SessionSimTest, NoBestPathEverLoops) {
 }
 
 TEST_P(SessionSimTest, ChurnLogIsTimeOrderedWithinRuns) {
-  auto w = test::MakeWorld(GetParam(), 80, 5);
+  const test::World& w = test::SharedWorld(GetParam(), 80, 5);
   netsim::Simulator sim;
   MessageLevelSim msim{w.internet().graph, w.deployment->cloud_as(), sim,
                        {.seed = GetParam()}};

@@ -4,7 +4,7 @@
 #include "tests/world_fixture.h"
 #include "util/stats.h"
 #include "tm/control.h"
-#include "tm/failover_scenario.h"
+#include "faultsim/failover_scenario.h"
 #include "tm/tm_edge.h"
 #include "tm/tm_pop.h"
 
@@ -229,7 +229,7 @@ TEST(FailoverScenario, DetectionNearRttTimescale) {
 }
 
 TEST(PrefixDirectoryTest, MapsPrefixesToPops) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   PrefixDirectory dir{*w.deployment};
   const auto inst = test::MakeInstance(w);
   const auto cfg = core::OnePerPop(*w.deployment, inst, 3);
@@ -241,7 +241,7 @@ TEST(PrefixDirectoryTest, MapsPrefixesToPops) {
 }
 
 TEST(PrefixDirectoryTest, ServiceRestrictionFilters) {
-  const auto w = test::MakeWorld();
+  const test::World& w = test::SharedWorld();
   PrefixDirectory dir{*w.deployment};
   const auto inst = test::MakeInstance(w);
   const auto cfg = core::OnePerPop(*w.deployment, inst, 3);

@@ -4,7 +4,10 @@
 // exercising multi-PoP, multi-peering, multi-UG behaviour.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "cloudsim/deployment.h"
 #include "cloudsim/ingress.h"
@@ -60,6 +63,31 @@ inline core::ProblemInstance MakeInstance(const World& w,
   util::Rng rng{seed};
   return core::BuildMeasuredInstance(w.internet(), *w.deployment, *w.catalog,
                                      *w.resolver, *w.oracle, rng);
+}
+
+// Process-wide world cache. World construction (topology generation +
+// deployment + catalog + oracle) dominates the runtime of tests that only
+// *read* the world; tests that call MakeWorld with the same parameters used
+// to pay that cost once per TEST() body. SharedWorld builds each distinct
+// (seed, stubs, pops) once per binary and hands out a const reference.
+//
+// World generation is a pure function of its parameters (seeded Rng, no
+// wall-clock), so a cached world is indistinguishable from a fresh one —
+// world_fixture_test asserts this. Only use the cache for read-only access;
+// a test that needs to mutate the world must still call MakeWorld.
+inline const World& SharedWorld(std::uint64_t seed = 11,
+                                std::size_t stubs = 150,
+                                std::size_t pops = 8) {
+  using Key = std::tuple<std::uint64_t, std::size_t, std::size_t>;
+  static std::map<Key, World> cache;
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock{mu};
+  const Key key{seed, stubs, pops};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, MakeWorld(seed, stubs, pops)).first;
+  }
+  return it->second;
 }
 
 }  // namespace painter::test

@@ -1,25 +1,32 @@
 #!/usr/bin/env bash
 # AddressSanitizer + UndefinedBehaviorSanitizer job.
 #
-# Configures a dedicated build tree with -fsanitize=address,undefined, builds
-# the memory-heavy targets (the observability layer's sharded registry and
-# trace sink, the thread pool, and the orchestrator/evaluator paths that use
-# them), and runs their tests. Any heap error, leak, or UB report fails the
-# job.
+# Configures a dedicated build tree with -fsanitize=address,undefined and
+# runs the tests selected by ctest label (see tests/CMakeLists.txt for the
+# tier/label scheme). The default selection is the memory/thread-heavy
+# `sanitize` set plus every `property` suite (minus `slow`), which covers
+# the observability registry, the thread pool, the parallel orchestrator
+# paths, and the faultsim chaos properties. Any heap error, leak, or UB
+# report fails the job.
 #
-# Usage: tools/asan_check.sh [build-dir]   (default: build-asan)
+# Usage: tools/asan_check.sh [build-dir] [label-regex]
+#        (defaults: build-asan, 'sanitize|property')
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-asan}"
-TESTS='obs_test|obs_integration_test|util_test|util_thread_pool_test|core_orchestrator_test|core_evaluate_test'
+LABELS="${2:-sanitize|property}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$BUILD_DIR" -j \
-  --target obs_test obs_integration_test util_test util_thread_pool_test \
-  core_orchestrator_test core_evaluate_test
-ctest --test-dir "$BUILD_DIR" --output-on-failure -R "($TESTS)"
+
+# Test names are target names; build exactly what the label selection runs.
+mapfile -t TARGETS < <(ctest --test-dir "$BUILD_DIR" -N -L "$LABELS" -LE slow |
+  sed -n 's/^ *Test *#[0-9]*: //p')
+[[ ${#TARGETS[@]} -gt 0 ]] || { echo "no tests match -L '$LABELS'" >&2; exit 1; }
+cmake --build "$BUILD_DIR" -j --target "${TARGETS[@]}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L "$LABELS" -LE slow
 echo "ASan+UBSan check passed: no memory errors or undefined behavior."

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full local CI pipeline, in escalating order of cost:
+#
+#   1. tier1    — the deterministic correctness gate (ctest -L tier1,
+#                 including the slow property suites): must stay green on
+#                 every change.
+#   2. property — the randomized suites on their own (ctest -L property),
+#                 surfacing seed-dependent regressions with --output-on-failure.
+#   3. ASan+UBSan, then TSan — dedicated sanitizer build trees running the
+#                 `sanitize` + `property` label selection (tools/asan_check.sh
+#                 and tools/tsan_check.sh), which includes the faultsim chaos
+#                 batch at multiple thread counts.
+#
+# Any stage failing aborts the pipeline with that stage's exit status.
+#
+# Usage: tools/ci_check.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+echo "=== ci 1/4: tier1 correctness gate ==="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure
+
+echo "=== ci 2/4: property suites ==="
+ctest --test-dir "$BUILD_DIR" -L property --output-on-failure
+
+echo "=== ci 3/4: ASan+UBSan (sanitize|property labels) ==="
+tools/asan_check.sh
+
+echo "=== ci 4/4: TSan (sanitize|property labels) ==="
+tools/tsan_check.sh
+
+echo "ci_check: all stages green."

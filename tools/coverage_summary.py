@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Aggregate gcov JSON line coverage into a per-directory report.
+
+Walks a --coverage build tree for .gcda note files, shells out to
+`gcov --json-format --stdout` for each, and unions executed lines per
+source file across every translation unit that compiled it (so headers
+get credit from all their includers). Prints per-file and per-directory
+line coverage for sources under src/, and enforces a minimum per-file
+threshold on selected directories.
+
+Usage:
+  coverage_summary.py BUILD_DIR [--min-file PCT --enforce-dir src/tm] [-o OUT]
+
+Exit status is 1 if any file in an enforced directory is below the
+threshold, else 0. No third-party packages; stdlib only.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def gcov_json_docs(build_dir):
+    """Yield one parsed gcov JSON document per .gcda in the build tree."""
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if not name.endswith(".gcda"):
+                continue
+            gcda = os.path.abspath(os.path.join(root, name))
+            proc = subprocess.run(
+                ["gcov", "--json-format", "--stdout", gcda],
+                cwd=build_dir,
+                capture_output=True,
+                check=False,
+            )
+            if proc.returncode != 0:
+                print(f"warning: gcov failed on {gcda}", file=sys.stderr)
+                continue
+            # --stdout emits one JSON document per line (one per .gcno).
+            for line in proc.stdout.splitlines():
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+
+def relative_source(path, repo_root):
+    """Map a gcov source path to repo-relative form, or None if external."""
+    path = os.path.normpath(os.path.join(repo_root, path)) if not os.path.isabs(
+        path
+    ) else os.path.normpath(path)
+    try:
+        rel = os.path.relpath(path, repo_root)
+    except ValueError:
+        return None
+    if rel.startswith(".."):
+        return None
+    return rel
+
+
+def collect(build_dir, repo_root, prefix):
+    """Per-file {line_no: hit} unioned across all TUs, for files under prefix."""
+    coverage = defaultdict(dict)  # rel path -> {line: bool hit}
+    for doc in gcov_json_docs(build_dir):
+        for f in doc.get("files", []):
+            rel = relative_source(f.get("file", ""), repo_root)
+            if rel is None or not rel.startswith(prefix):
+                continue
+            lines = coverage[rel]
+            for ln in f.get("lines", []):
+                no = ln["line_number"]
+                lines[no] = lines.get(no, False) or ln["count"] > 0
+    return coverage
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build_dir")
+    ap.add_argument("--prefix", default="src/", help="only report files here")
+    ap.add_argument("--min-file", type=float, default=70.0)
+    ap.add_argument(
+        "--enforce-dir",
+        action="append",
+        default=[],
+        help="directory whose files must each meet --min-file",
+    )
+    ap.add_argument("-o", "--output", help="also write the report to this file")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    coverage = collect(args.build_dir, repo_root, args.prefix)
+    if not coverage:
+        print("error: no coverage data found (is this a --coverage build?)")
+        return 2
+
+    rows = []  # (rel, covered, total, pct)
+    for rel in sorted(coverage):
+        lines = coverage[rel]
+        total = len(lines)
+        covered = sum(1 for hit in lines.values() if hit)
+        pct = 100.0 * covered / total if total else 100.0
+        rows.append((rel, covered, total, pct))
+
+    by_dir = defaultdict(lambda: [0, 0])
+    for rel, covered, total, _pct in rows:
+        d = by_dir[os.path.dirname(rel)]
+        d[0] += covered
+        d[1] += total
+
+    out = []
+    out.append(f"{'file':52}  {'lines':>11}  {'cover':>6}")
+    for rel, covered, total, pct in rows:
+        out.append(f"{rel:52}  {covered:5}/{total:5}  {pct:5.1f}%")
+    out.append("")
+    out.append(f"{'directory':52}  {'lines':>11}  {'cover':>6}")
+    grand_cov = grand_tot = 0
+    for d in sorted(by_dir):
+        covered, total = by_dir[d]
+        grand_cov += covered
+        grand_tot += total
+        pct = 100.0 * covered / total if total else 100.0
+        out.append(f"{d + '/':52}  {covered:5}/{total:5}  {pct:5.1f}%")
+    grand_pct = 100.0 * grand_cov / grand_tot if grand_tot else 100.0
+    out.append(f"{'TOTAL':52}  {grand_cov:5}/{grand_tot:5}  {grand_pct:5.1f}%")
+
+    failures = []
+    for enforce in args.enforce_dir:
+        enforce = enforce.rstrip("/") + "/"
+        for rel, _covered, _total, pct in rows:
+            if rel.startswith(enforce) and pct < args.min_file:
+                failures.append(f"{rel}: {pct:.1f}% < {args.min_file:.0f}% minimum")
+    if failures:
+        out.append("")
+        out.extend("FAIL " + f for f in failures)
+
+    report = "\n".join(out) + "\n"
+    sys.stdout.write(report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

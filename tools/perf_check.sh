@@ -1,26 +1,38 @@
 #!/usr/bin/env bash
-# Orchestrator performance gate.
+# Orchestrator performance gate, fronted by the tier-1 correctness gate.
 #
-# Builds bench/micro_orchestrator, runs its painter.bench.v1 report pass
-# (--report-only skips the google-benchmark suite), and diffs the fresh
-# report against the committed baseline in bench/results/ with
-# tools/bench_compare.py. A phase slowing down by more than the tolerance
-# fails the job.
+# 1. Builds and runs the ctest `tier1` label selection (minus `slow`) — a
+#    perf number from a build that fails correctness is meaningless.
+# 2. Builds bench/micro_orchestrator, runs its painter.bench.v1 report pass
+#    (--report-only skips the google-benchmark suite), and diffs the fresh
+#    report against the committed baseline in bench/results/ with
+#    tools/bench_compare.py. A phase slowing down by more than the tolerance
+#    fails the job.
 #
 # If no baseline exists yet, the fresh report is installed as the baseline
 # (commit it) and the job succeeds.
 #
-# Usage: tools/perf_check.sh [build-dir] [tolerance]
-#        (defaults: build, 0.25 = 25% allowed slowdown per phase)
+# Usage: tools/perf_check.sh [build-dir] [tolerance] [label-regex]
+#        (defaults: build, 0.25 = 25% allowed slowdown per phase, tier1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 TOLERANCE="${2:-0.25}"
+LABELS="${3:-tier1}"
 BASELINE=bench/results/BENCH_micro_orchestrator.baseline.json
 REPORT_DIR="$BUILD_DIR/bench_reports"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
+
+# --- Correctness gate: the label-selected tier must be green. ---
+mapfile -t TARGETS < <(ctest --test-dir "$BUILD_DIR" -N -L "$LABELS" -LE slow |
+  sed -n 's/^ *Test *#[0-9]*: //p')
+[[ ${#TARGETS[@]} -gt 0 ]] || { echo "no tests match -L '$LABELS'" >&2; exit 1; }
+cmake --build "$BUILD_DIR" -j --target "${TARGETS[@]}" >/dev/null
+ctest --test-dir "$BUILD_DIR" -L "$LABELS" -LE slow --output-on-failure
+
+# --- Performance gate. ---
 cmake --build "$BUILD_DIR" -j --target micro_orchestrator
 
 mkdir -p "$REPORT_DIR"
