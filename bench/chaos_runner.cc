@@ -4,9 +4,11 @@
 // plan-driven scenario engine, and verify the four machine-checkable
 // invariants (flow pinning, detection latency <= probe_interval + 1.3 RTT,
 // no silent blackholing, reconvergence after faults clear). A subset of
-// seeds additionally replays the plan's BGP events through the
-// message-level simulation and checks convergence back to the static
-// Gao–Rexford fixpoint.
+// seeds re-runs under load: the workload engine drives a deterministic flow
+// trace through the capacity-aware policy while the same faults play out
+// (same four invariants, plus the policy contract). Another subset replays
+// the plan's BGP events through the message-level simulation and checks
+// convergence back to the static Gao–Rexford fixpoint.
 //
 // Everything is a pure function of the seeds: no wall-clock, fixed-order
 // iteration, so `chaos_runner --seed S` is a one-line repro for any
@@ -35,6 +37,7 @@
 #include "obs/report.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "workload/chaos_load.h"
 
 namespace {
 
@@ -149,6 +152,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Chaos under load: every 5th seed re-runs its world and plan with the
+  // workload engine admitting a deterministic flow trace through the
+  // capacity-aware policy while the faults play out. Checks the same four
+  // invariants plus the policy contract (zero down-picks) and liveness
+  // (the workload actually started flows).
+  std::size_t load_seeds = 0;
+  std::size_t load_flows = 0;
+  std::size_t load_trace_events = 0;
+  std::size_t load_violations = 0;
+  std::size_t load_violating_seeds = 0;
+  {
+    const obs::RunReport::ScopedPhase phase{report, "load_sweep"};
+    for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+      if (last_seed != first_seed && seed % 5 != 0) continue;
+      ++load_seeds;
+      const workload::ChaosLoadResult r = workload::RunChaosUnderLoad(seed);
+      load_flows += r.load_stats.started;
+      load_trace_events += r.trace_events;
+      total_checks += r.invariants.checks;
+      std::vector<std::string> all = r.invariants.violations;
+      all.insert(all.end(), r.load_violations.begin(),
+                 r.load_violations.end());
+      if (!all.empty()) {
+        ++load_violating_seeds;
+        load_violations += all.size();
+        for (const auto& v : all) {
+          std::cout << "VIOLATION load seed=" << seed << ": " << v << "\n";
+        }
+      }
+    }
+  }
+
   // BGP replay on every 10th seed (session-level sims are ~100x costlier
   // than TM scenarios; sampling keeps the default sweep under a minute).
   std::size_t bgp_seeds = 0;
@@ -179,6 +214,9 @@ int main(int argc, char** argv) {
             << " fault events, " << total_checks << " invariant checks, "
             << violations << " TM violation(s), " << bgp_violations
             << " BGP violation(s) over " << bgp_seeds << " replay(s).\n";
+  std::cout << "chaos under load: " << load_seeds << " plan(s), "
+            << load_trace_events << " trace events, " << load_flows
+            << " workload flows, " << load_violations << " violation(s).\n";
   if (!detections_ms.empty()) {
     std::cout << "detection latency over " << detections_ms.size()
               << " bounded onsets: median "
@@ -194,6 +232,11 @@ int main(int argc, char** argv) {
   report.AddValue("tm_violations", static_cast<double>(violations));
   report.AddValue("bgp_replays", static_cast<double>(bgp_seeds));
   report.AddValue("bgp_violations", static_cast<double>(bgp_violations));
+  report.AddValue("load_plans", static_cast<double>(load_seeds));
+  report.AddValue("load_trace_events",
+                  static_cast<double>(load_trace_events));
+  report.AddValue("load_flows", static_cast<double>(load_flows));
+  report.AddValue("load_violations", static_cast<double>(load_violations));
   report.AddValue("detections", static_cast<double>(detections_ms.size()));
   if (!detections_ms.empty()) {
     report.AddValue("median_detection_ms", util::Median(detections_ms));
@@ -203,5 +246,6 @@ int main(int argc, char** argv) {
   report.AttachMetrics();
   report.Write(bench::ReportPath("chaos_runner"));
 
-  return static_cast<int>(violating_seeds + (bgp_violations > 0 ? 1 : 0));
+  return static_cast<int>(violating_seeds + load_violating_seeds +
+                          (bgp_violations > 0 ? 1 : 0));
 }

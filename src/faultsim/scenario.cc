@@ -48,7 +48,7 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioSpec& spec,
   std::vector<int> tunnel_pop;
   tunnel_pop.reserve(spec.tunnels.size());
   for (const ScenarioTunnel& t : spec.tunnels) tunnel_pop.push_back(t.pop);
-  const FaultInjector injector{plan, std::move(tunnel_pop)};
+  const FaultInjector injector{plan, tunnel_pop};
 
   std::vector<tm::TunnelConfig> tunnels;
   tunnels.reserve(spec.tunnels.size());
@@ -70,19 +70,21 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioSpec& spec,
 
   // Pinning recorder: read-only snapshots of the flow table on the sample
   // grid (no RNG draws, so it cannot perturb the TmEdge event sequence).
+  // SortedItems() is already FlowKey-ordered — the store's slot order never
+  // leaks into results.
   std::function<void()> record_pinning = [&]() {
     if (sim.Now() > spec.run_for_s) return;
     FaultScenarioResult::PinningSnapshot snap;
     snap.t = sim.Now();
-    for (const auto& [key, stats] : edge.flows()) {
+    for (const auto& [key, stats] : edge.flows().SortedItems()) {
       snap.flow_tunnels.emplace_back(key, stats.tunnel);
     }
-    std::sort(snap.flow_tunnels.begin(), snap.flow_tunnels.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
     result.pinning.push_back(std::move(snap));
     sim.Schedule(spec.sample_every_s, record_pinning);
   };
   record_pinning();
+
+  if (spec.attach) spec.attach(sim, edge, tunnel_pop);
 
   for (const ScenarioFlow& flow : spec.flows) {
     sim.Schedule(flow.start_s, [&edge, flow]() {
@@ -101,11 +103,7 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioSpec& spec,
   for (const auto& pop : pops) {
     result.pop_data_packets.push_back(pop->stats().data_packets);
   }
-  for (const auto& [key, stats] : edge.flows()) {
-    result.flow_stats.emplace_back(key, stats);
-  }
-  std::sort(result.flow_stats.begin(), result.flow_stats.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  result.flow_stats = edge.flows().SortedItems();
 
   CountInjected(injector, result);
   return result;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "faultsim/fault_plan.h"
 #include "netsim/packet.h"
 #include "netsim/path.h"
+#include "netsim/sim.h"
 #include "tm/tm_edge.h"
 
 namespace painter::faultsim {
@@ -52,6 +54,17 @@ struct FaultScenarioSpec {
   std::vector<std::string> pop_names;
   std::vector<ScenarioTunnel> tunnels;
   std::vector<ScenarioFlow> flows;
+
+  // Optional traffic driver, invoked once after the edge starts probing and
+  // before the event loop runs: the workload engine attaches here to drive
+  // large-scale load through the same simulator while the plan's faults
+  // play out (chaos-under-load). `tunnel_pop[i]` is the PoP index of tunnel
+  // i, spec order. The hook must be deterministic and must not draw from
+  // the TmEdge's RNG, so an absent or no-op hook leaves the run
+  // bit-identical.
+  std::function<void(netsim::Simulator& sim, tm::TmEdge& edge,
+                     const std::vector<int>& tunnel_pop)>
+      attach;
 };
 
 struct FaultScenarioResult {

@@ -13,6 +13,8 @@
 #include <functional>
 #include <optional>
 
+#include "util/hashmix.h"
+
 namespace painter::netsim {
 
 using IpAddr = std::uint32_t;  // IPv4 address as an integer
@@ -27,6 +29,20 @@ struct FlowKey {
 
   friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
 };
+
+// Full-width 64-bit fingerprint of a flow key. The sharded flow-pinning
+// store (workload/flow_store.h) derives both the shard index (high bits) and
+// the in-shard probe start (low bits) from one value, so the mix quality
+// matters more than for std::hash (which feeds bucketed unordered_maps and
+// is left untouched to preserve their iteration orders).
+[[nodiscard]] constexpr std::uint64_t FlowKeyFingerprint(const FlowKey& k) {
+  const std::uint64_t addrs =
+      (static_cast<std::uint64_t>(k.src_ip) << 32) | k.dst_ip;
+  const std::uint64_t rest = (static_cast<std::uint64_t>(k.src_port) << 32) |
+                             (static_cast<std::uint64_t>(k.dst_port) << 8) |
+                             k.proto;
+  return util::MixSeed(addrs, rest);
+}
 
 enum class PacketKind : std::uint8_t {
   kData,

@@ -98,8 +98,8 @@ void TmEdge::DeliverToPop(std::size_t i, const netsim::Packet& packet) {
                                       .src_port = reply.inner.dst_port,
                                       .dst_port = reply.inner.src_port,
                                       .proto = reply.inner.proto};
-        const auto it = flows_.find(forward);
-        if (it != flows_.end()) ++it->second.delivered;
+        FlowStats* stats = flows_.Find(forward);
+        if (stats != nullptr) ++stats->delivered;
       }
     });
   });
@@ -184,23 +184,30 @@ void TmEdge::StartFlow(const netsim::FlowKey& flow, std::size_t packets,
                        double interval_s, std::uint32_t payload_bytes) {
   // Pin the flow to the destination that is best right now; the mapping is
   // immutable for the flow's lifetime (§3.2) — packets keep using it even if
-  // a better destination appears (or this one dies).
-  FlowStats& stats = flows_[flow];
-  stats.tunnel = chosen_;
+  // a better destination appears (or this one dies). A placer (capacity-aware
+  // selection) may override the probing loop's choice at pin time only.
+  int target = chosen_;
+  if (placer_) {
+    const int picked = placer_(flow, chosen_);
+    if (picked >= 0 && picked < static_cast<int>(tunnels_.size())) {
+      target = picked;
+    }
+  }
+  FlowStats& stats = flows_.Upsert(flow);
+  stats.tunnel = target;
   if (stats.tunnel < 0) return;  // nothing usable; flow fails to start
 
   for (std::size_t k = 0; k < packets; ++k) {
     sim_->Schedule(interval_s * static_cast<double>(k),
                    [this, flow, payload_bytes]() {
-                     const auto it = flows_.find(flow);
-                     if (it == flows_.end() || it->second.tunnel < 0) return;
+                     FlowStats* stats = flows_.Find(flow);
+                     if (stats == nullptr || stats->tunnel < 0) return;
                      netsim::Packet p;
                      p.kind = netsim::PacketKind::kData;
                      p.inner = flow;
                      p.payload_bytes = payload_bytes;
-                     ++it->second.sent;
-                     SendViaTunnel(static_cast<std::size_t>(it->second.tunnel),
-                                   p);
+                     ++stats->sent;
+                     SendViaTunnel(static_cast<std::size_t>(stats->tunnel), p);
                    });
   }
 }

@@ -20,6 +20,7 @@
 #include "netsim/sim.h"
 #include "tm/tm_pop.h"
 #include "util/rng.h"
+#include "workload/flow_store.h"
 
 namespace painter::tm {
 
@@ -76,6 +77,20 @@ class TmEdge {
     std::size_t delivered = 0;  // responses received by the client
   };
 
+  // Flow table: sharded open-addressing store (flat arrays, linear probing)
+  // instead of a node-based unordered_map — the pin lookup on every
+  // delivered response is the TM-Edge's hottest path under load. Iterate via
+  // FlowTable::SortedItems() (FlowKey order); slot order is not meaningful.
+  using FlowTable = workload::FlowStore<FlowStats>;
+
+  // Picks the tunnel a new flow is pinned to, given the edge's current
+  // choice; returning a negative or out-of-range index falls back to
+  // `chosen`. Installed by the workload engine for capacity-aware placement;
+  // when unset, flows pin to the probing loop's chosen tunnel (the classic
+  // lowest-RTT rule). Must be deterministic and must not mutate the edge.
+  using FlowPlacer = std::function<int(const netsim::FlowKey& flow,
+                                       int chosen)>;
+
   TmEdge(netsim::Simulator& sim, Config config,
          std::vector<TunnelConfig> tunnels);
 
@@ -99,11 +114,10 @@ class TmEdge {
   [[nodiscard]] const std::vector<FailoverEvent>& failovers() const {
     return failovers_;
   }
-  [[nodiscard]] const std::unordered_map<netsim::FlowKey, FlowStats>& flows()
-      const {
-    return flows_;
-  }
+  [[nodiscard]] const FlowTable& flows() const { return flows_; }
   [[nodiscard]] std::optional<double> TunnelRttMs(std::size_t i) const;
+
+  void SetFlowPlacer(FlowPlacer placer) { placer_ = std::move(placer); }
 
  private:
   struct Tunnel {
@@ -135,7 +149,8 @@ class TmEdge {
   int chosen_ = -1;
   std::vector<Sample> samples_;
   std::vector<FailoverEvent> failovers_;
-  std::unordered_map<netsim::FlowKey, FlowStats> flows_;
+  FlowTable flows_;
+  FlowPlacer placer_;
 };
 
 }  // namespace painter::tm

@@ -1,0 +1,177 @@
+#include "workload/engine.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace painter::workload {
+namespace {
+
+struct EngineMetrics {
+  obs::Counter& started =
+      obs::Metrics().GetCounter("workload.engine.flows_started");
+  obs::Counter& rejected =
+      obs::Metrics().GetCounter("workload.engine.flows_rejected");
+  obs::Counter& completed =
+      obs::Metrics().GetCounter("workload.engine.flows_completed");
+  obs::Counter& down_picks =
+      obs::Metrics().GetCounter("workload.engine.down_picks");
+
+  static EngineMetrics& Get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+WorkloadEngine::WorkloadEngine(netsim::Simulator& sim, tm::TmEdge& edge,
+                               std::vector<int> tunnel_pop, LoadTracker& load,
+                               const DestinationPolicy& policy,
+                               const Trace& trace, EngineConfig config)
+    : sim_(&sim),
+      edge_(&edge),
+      tunnel_pop_(std::move(tunnel_pop)),
+      load_(&load),
+      policy_(&policy),
+      trace_(&trace),
+      config_(config),
+      store_(config.store) {
+  const auto duration_us = static_cast<double>(trace.duration_us);
+  const double tick_us = config_.tick_s * 1e6;
+  // One bucket per tick of the trace, plus one absorbing bucket for flows
+  // whose (clamped) lifetime outlives the trace — drained by the final tick.
+  const auto ticks = static_cast<std::size_t>(duration_us / tick_us) + 2;
+  expiry_buckets_.resize(ticks);
+}
+
+netsim::FlowKey WorkloadEngine::KeyFor(const FlowEvent& event) {
+  // 20.0.0.0/8 client space, disjoint from the scripted scenario flows
+  // (192.168/16) and the tunnel outer tuples (10/8).
+  return netsim::FlowKey{
+      .src_ip = 0x14000000u | (event.ug & 0x00FFFFFFu),
+      .dst_ip = 0x08080808u,
+      .src_port = static_cast<netsim::Port>(event.seq & 0xFFFFu),
+      .dst_port = static_cast<netsim::Port>(0x2000u + ((event.seq >> 16) &
+                                                       0x0FFFu)),
+      .proto = 6};
+}
+
+std::vector<TunnelView> WorkloadEngine::CurrentViews() const {
+  std::vector<TunnelView> views;
+  views.reserve(edge_->TunnelCount());
+  for (std::size_t i = 0; i < edge_->TunnelCount(); ++i) {
+    const auto rtt = edge_->TunnelRttMs(i);
+    views.push_back(TunnelView{
+        .tunnel = static_cast<int>(i),
+        .pop = i < tunnel_pop_.size() ? tunnel_pop_[i] : -1,
+        .usable = rtt.has_value(),
+        .rtt_ms = rtt.value_or(0.0)});
+  }
+  return views;
+}
+
+void WorkloadEngine::Start() {
+  if (config_.place_edge_flows) {
+    edge_->SetFlowPlacer([this](const netsim::FlowKey&, int chosen) {
+      const std::vector<TunnelView> views = CurrentViews();
+      const int pick = policy_->Pick(views, *load_);
+      return pick >= 0 ? pick : chosen;
+    });
+  }
+  sim_->Schedule(config_.tick_s, [this]() { Tick(); });
+}
+
+std::size_t WorkloadEngine::BucketOf(std::uint64_t expiry_us) const {
+  const auto bucket =
+      static_cast<std::size_t>(static_cast<double>(expiry_us) /
+                               (config_.tick_s * 1e6));
+  return std::min(bucket, expiry_buckets_.size() - 1);
+}
+
+void WorkloadEngine::Admit(const FlowEvent& event,
+                           const std::vector<TunnelView>& views) {
+  ++stats_.arrivals;
+  const int pick = policy_->Pick(views, *load_);
+  if (pick < 0 || static_cast<std::size_t>(pick) >= views.size()) {
+    ++stats_.rejected;
+    EngineMetrics::Get().rejected.Add();
+    return;
+  }
+  if (!views[static_cast<std::size_t>(pick)].usable) {
+    // Policy contract breach — count it loudly instead of crashing, the
+    // chaos sweep turns a non-zero count into a violation.
+    ++stats_.down_picks;
+    EngineMetrics::Get().down_picks.Add();
+    ++stats_.rejected;
+    return;
+  }
+  const int pop = views[static_cast<std::size_t>(pick)].pop;
+  const double duration_s =
+      std::clamp(static_cast<double>(event.bytes) / config_.flow_bytes_per_s,
+                 config_.min_duration_s, config_.max_duration_s);
+  const double rate_bps = static_cast<double>(event.bytes) / duration_s;
+
+  if (load_->Utilization(pop) >= 1.0) ++stats_.saturated_assignments;
+
+  PinnedFlow& flow = store_.Upsert(KeyFor(event));
+  flow.tunnel = pick;
+  flow.pop = pop;
+  flow.bytes = event.bytes;
+  flow.expiry_us =
+      event.start_us + static_cast<std::uint64_t>(duration_s * 1e6);
+  flow.rate_bps = rate_bps;
+
+  load_->OnAssign(pop, rate_bps);
+  stats_.max_utilization =
+      std::max(stats_.max_utilization, load_->Utilization(pop));
+  stats_.bytes_offered += static_cast<double>(event.bytes);
+  ++stats_.started;
+  EngineMetrics::Get().started.Add();
+  expiry_buckets_[BucketOf(flow.expiry_us)].push_back(KeyFor(event));
+}
+
+void WorkloadEngine::ExpireBucket(std::size_t bucket) {
+  for (const netsim::FlowKey& key : expiry_buckets_[bucket]) {
+    const PinnedFlow* flow = store_.Find(key);
+    if (flow == nullptr) continue;  // already expired (defensive; unique keys)
+    load_->OnRelease(flow->pop, flow->rate_bps);
+    store_.Erase(key);
+    ++stats_.completed;
+    EngineMetrics::Get().completed.Add();
+  }
+  expiry_buckets_[bucket].clear();
+  expiry_buckets_[bucket].shrink_to_fit();
+}
+
+void WorkloadEngine::Tick() {
+  const auto now_us = static_cast<std::uint64_t>(sim_->Now() * 1e6);
+  const std::vector<TunnelView> views = CurrentViews();
+  const std::vector<FlowEvent>& events = trace_->events;
+  while (cursor_ < events.size() && events[cursor_].start_us <= now_us) {
+    Admit(events[cursor_], views);
+    ++cursor_;
+  }
+  stats_.peak_concurrent =
+      std::max<std::uint64_t>(stats_.peak_concurrent, store_.size());
+
+  if (tick_index_ < expiry_buckets_.size()) ExpireBucket(tick_index_);
+  ++tick_index_;
+
+  const bool trace_done = cursor_ >= events.size();
+  const bool drained = store_.empty();
+  const bool past_end =
+      now_us >= trace_->duration_us + static_cast<std::uint64_t>(1e6);
+  if (trace_done && (drained || past_end)) {
+    // Final drain: release whatever outlived the trace so the load gauges
+    // settle back to zero, then stop rescheduling.
+    for (std::size_t b = tick_index_; b < expiry_buckets_.size(); ++b) {
+      ExpireBucket(b);
+    }
+    load_->ExportGauges();
+    return;
+  }
+  sim_->Schedule(config_.tick_s, [this]() { Tick(); });
+}
+
+}  // namespace painter::workload

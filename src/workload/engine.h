@@ -1,0 +1,125 @@
+// Workload engine: replays a flow trace against a TM-Edge at scale.
+//
+// The engine is the bridge between the trace generator and the
+// discrete-event Traffic Manager. It does NOT simulate per-packet dynamics
+// for workload flows (a million flows a day at per-packet granularity would
+// drown the DES); instead it advances in fixed ticks and, per tick:
+//
+//   1. admits every trace arrival due by now: snapshots the TM-Edge's tunnel
+//      views (probed-up state + RTT EWMA), asks the DestinationPolicy for a
+//      destination, pins the flow in the sharded FlowStore, and adds its
+//      service rate to the target PoP's LoadTracker gauge;
+//   2. expires flows in batch: each pinned flow carries its expiry tick, so
+//      expiry is a bucket drain (lookup, release load, erase), never a scan
+//      of the whole table.
+//
+// Pinning is immutable (§3.2): a flow's record never changes destination
+// after admission, across any number of store rehashes or expiry sweeps.
+// The engine draws no randomness at all — everything derives from the trace
+// and the deterministic TM-Edge state — so a run is a pure function of
+// (trace, world, config) and can execute alongside fault injection without
+// perturbing the TM-Edge's event sequence (it only reads edge state).
+//
+// Optionally (place_edge_flows) the engine also installs itself as the
+// TM-Edge's flow placer, so scripted per-packet flows started through
+// TmEdge::StartFlow get the same capacity-aware destination selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/sim.h"
+#include "tm/tm_edge.h"
+#include "workload/flow_store.h"
+#include "workload/load.h"
+#include "workload/trace.h"
+
+namespace painter::workload {
+
+// A pinned workload flow. The destination is immutable after admission.
+struct PinnedFlow {
+  std::int32_t tunnel = -1;
+  std::int32_t pop = -1;
+  std::uint64_t bytes = 0;
+  std::uint64_t expiry_us = 0;
+  double rate_bps = 0.0;  // what OnRelease must subtract
+};
+
+struct EngineConfig {
+  double tick_s = 0.1;  // batch granularity for admission and expiry
+  // Per-flow service rate: a flow of B bytes stays pinned for B / rate
+  // seconds (clamped below), occupying rate bytes/s of its PoP's capacity.
+  double flow_bytes_per_s = 100.0e3;
+  double min_duration_s = 1.0;
+  double max_duration_s = 600.0;
+  // Install the capacity-aware placer on the TM-Edge so scripted flows
+  // (per-packet, via StartFlow) follow the same policy as workload flows.
+  bool place_edge_flows = false;
+  FlowStoreConfig store;
+};
+
+class WorkloadEngine {
+ public:
+  struct Stats {
+    std::uint64_t arrivals = 0;   // trace events consumed
+    std::uint64_t started = 0;    // pinned successfully
+    std::uint64_t rejected = 0;   // no usable tunnel at admission
+    std::uint64_t completed = 0;  // expired and released
+    std::uint64_t peak_concurrent = 0;
+    // Policy-contract violations: picks of a tunnel whose view was unusable.
+    // Must stay 0; the chaos-under-load sweep asserts it.
+    std::uint64_t down_picks = 0;
+    // Admissions onto a PoP already at/over the load-aware threshold-like
+    // utilization of 1.0 (i.e. saturated at admission time).
+    std::uint64_t saturated_assignments = 0;
+    double bytes_offered = 0.0;
+    double max_utilization = 0.0;  // high-water mark across PoPs and ticks
+  };
+
+  // `tunnel_pop[i]` maps the edge's tunnel i to a LoadTracker PoP index.
+  // All references must outlive the engine; the trace must stay alive and
+  // unmodified while the simulation runs.
+  WorkloadEngine(netsim::Simulator& sim, tm::TmEdge& edge,
+                 std::vector<int> tunnel_pop, LoadTracker& load,
+                 const DestinationPolicy& policy, const Trace& trace,
+                 EngineConfig config = {});
+
+  // Schedules the tick loop (first tick one tick_s from now) and, when
+  // configured, installs the edge flow placer.
+  void Start();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const FlowStore<PinnedFlow>& store() const { return store_; }
+  [[nodiscard]] std::size_t Concurrent() const { return store_.size(); }
+
+  // Current per-tunnel views from the TM-Edge (usable = probed up with a
+  // measured RTT, exactly TmEdge::TunnelRttMs's notion).
+  [[nodiscard]] std::vector<TunnelView> CurrentViews() const;
+
+  // The 5-tuple a trace event is pinned under; injective in (ug, seq) for
+  // seq < 2^28.
+  [[nodiscard]] static netsim::FlowKey KeyFor(const FlowEvent& event);
+
+ private:
+  void Tick();
+  void Admit(const FlowEvent& event, const std::vector<TunnelView>& views);
+  void ExpireBucket(std::size_t bucket);
+  [[nodiscard]] std::size_t BucketOf(std::uint64_t expiry_us) const;
+
+  netsim::Simulator* sim_;
+  tm::TmEdge* edge_;
+  std::vector<int> tunnel_pop_;
+  LoadTracker* load_;
+  const DestinationPolicy* policy_;
+  const Trace* trace_;
+  EngineConfig config_;
+
+  FlowStore<PinnedFlow> store_;
+  std::size_t cursor_ = 0;  // next unconsumed trace event
+  std::size_t tick_index_ = 0;
+  // expiry_buckets_[k]: keys whose flows expire within tick k.
+  std::vector<std::vector<netsim::FlowKey>> expiry_buckets_;
+  Stats stats_;
+};
+
+}  // namespace painter::workload

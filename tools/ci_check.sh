@@ -6,7 +6,10 @@
 #                 every change.
 #   2. property — the randomized suites on their own (ctest -L property),
 #                 surfacing seed-dependent regressions with --output-on-failure.
-#   3. ASan+UBSan, then TSan — dedicated sanitizer build trees running the
+#   3. workload — the workload-engine tier (ctest -L workload) plus a smoke
+#                 run of bench/workload_throughput (tiny trace, full pipeline:
+#                 generate -> pin-lookup -> policy replay).
+#   4. ASan+UBSan, then TSan — dedicated sanitizer build trees running the
 #                 `sanitize` + `property` label selection (tools/asan_check.sh
 #                 and tools/tsan_check.sh), which includes the faultsim chaos
 #                 batch at multiple thread counts.
@@ -19,18 +22,23 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
-echo "=== ci 1/4: tier1 correctness gate ==="
+echo "=== ci 1/5: tier1 correctness gate ==="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure
 
-echo "=== ci 2/4: property suites ==="
+echo "=== ci 2/5: property suites ==="
 ctest --test-dir "$BUILD_DIR" -L property --output-on-failure
 
-echo "=== ci 3/4: ASan+UBSan (sanitize|property labels) ==="
+echo "=== ci 3/5: workload tier + throughput smoke ==="
+ctest --test-dir "$BUILD_DIR" -L workload --output-on-failure
+cmake --build "$BUILD_DIR" -j --target workload_throughput >/dev/null
+"$BUILD_DIR"/bench/workload_throughput --smoke >/dev/null
+
+echo "=== ci 4/5: ASan+UBSan (sanitize|property labels) ==="
 tools/asan_check.sh
 
-echo "=== ci 4/4: TSan (sanitize|property labels) ==="
+echo "=== ci 5/5: TSan (sanitize|property labels) ==="
 tools/tsan_check.sh
 
 echo "ci_check: all stages green."

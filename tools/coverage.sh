@@ -4,9 +4,10 @@
 # test selection, then unions executed lines across translation units with
 # tools/coverage_summary.py.
 #
-# Enforced floor: every file under src/tm/ must be at least 70% line-covered
-# (the Traffic Manager is the layer the fault-injection work leans on
-# hardest); the script exits non-zero otherwise.
+# Enforced floor: every file under src/tm/ and src/workload/ must be at
+# least 70% line-covered (the Traffic Manager and the workload engine are
+# the layers the fault-injection work leans on hardest); the script exits
+# non-zero otherwise.
 #
 # Usage: tools/coverage.sh [build-dir] [label-regex]
 #        (defaults: build-cov, 'tier1|property')
@@ -28,6 +29,6 @@ find "$BUILD_DIR" -name '*.gcda' -delete
 ctest --test-dir "$BUILD_DIR" -L "$LABELS" --output-on-failure >/dev/null
 
 python3 tools/coverage_summary.py "$BUILD_DIR" \
-  --min-file 70 --enforce-dir src/tm \
+  --min-file 70 --enforce-dir src/tm --enforce-dir src/workload \
   --output "$BUILD_DIR/coverage_report.txt"
 echo "report written to $BUILD_DIR/coverage_report.txt"

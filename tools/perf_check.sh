@@ -8,9 +8,13 @@
 #    report against the committed baseline in bench/results/ with
 #    tools/bench_compare.py. A phase slowing down by more than the tolerance
 #    fails the job.
+# 3. Builds and runs bench/workload_throughput at full scale (>= 1M flow
+#    events, >= 100k concurrent pins — the bench exits non-zero if the scale
+#    gates fail) and diffs its report against the workload baseline the same
+#    way.
 #
-# If no baseline exists yet, the fresh report is installed as the baseline
-# (commit it) and the job succeeds.
+# If a baseline doesn't exist yet, the fresh report is installed as the
+# baseline (commit it) and that gate succeeds.
 #
 # Usage: tools/perf_check.sh [build-dir] [tolerance] [label-regex]
 #        (defaults: build, 0.25 = 25% allowed slowdown per phase, tier1)
@@ -21,6 +25,7 @@ BUILD_DIR="${1:-build}"
 TOLERANCE="${2:-0.25}"
 LABELS="${3:-tier1}"
 BASELINE=bench/results/BENCH_micro_orchestrator.baseline.json
+WORKLOAD_BASELINE=bench/results/BENCH_workload_throughput.baseline.json
 REPORT_DIR="$BUILD_DIR/bench_reports"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
@@ -44,8 +49,23 @@ if [[ ! -f "$BASELINE" ]]; then
   mkdir -p "$(dirname "$BASELINE")"
   cp "$REPORT" "$BASELINE"
   echo "No baseline found; installed $REPORT as $BASELINE — commit it."
+else
+  tools/bench_compare.py "$BASELINE" "$REPORT" --tolerance "$TOLERANCE"
+  echo "Perf check passed against $BASELINE."
+fi
+
+# --- Workload-engine gate: scale thresholds + perf trajectory. ---
+cmake --build "$BUILD_DIR" -j --target workload_throughput
+PAINTER_REPORT_DIR="$REPORT_DIR" "$BUILD_DIR"/bench/workload_throughput
+WORKLOAD_REPORT="$REPORT_DIR/BENCH_workload_throughput.json"
+
+if [[ ! -f "$WORKLOAD_BASELINE" ]]; then
+  cp "$WORKLOAD_REPORT" "$WORKLOAD_BASELINE"
+  echo "No workload baseline; installed $WORKLOAD_REPORT as" \
+       "$WORKLOAD_BASELINE — commit it."
   exit 0
 fi
 
-tools/bench_compare.py "$BASELINE" "$REPORT" --tolerance "$TOLERANCE"
-echo "Perf check passed against $BASELINE."
+tools/bench_compare.py "$WORKLOAD_BASELINE" "$WORKLOAD_REPORT" \
+  --tolerance "$TOLERANCE"
+echo "Perf check passed against $WORKLOAD_BASELINE."
