@@ -1,0 +1,47 @@
+#include "core/learning_timeline.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace painter::core {
+
+LearningTimeline::LearningTimeline(netsim::Simulator& sim,
+                                   Orchestrator& orchestrator,
+                                   AdvertisementEnvironment& env,
+                                   LearningTimelineConfig config,
+                                   RoundCallback on_round)
+    : sim_(&sim),
+      orchestrator_(&orchestrator),
+      env_(&env),
+      config_(config),
+      on_round_(std::move(on_round)),
+      interval_us_(netsim::UsFromSeconds(config.round_interval_s)) {
+  if (interval_us_ == 0) {
+    throw std::invalid_argument{
+        "LearningTimeline: round_interval_s below 1 microsecond"};
+  }
+}
+
+void LearningTimeline::Start() {
+  anchor_us_ = sim_->NowUs() + netsim::UsFromSeconds(config_.start_s);
+  sim_->ScheduleAtUs(anchor_us_, [this]() { RunRound(); });
+}
+
+void LearningTimeline::RunRound() {
+  const std::size_t round = reports_.size();
+  std::vector<AdvertisementEnvironment::PrefixObservation> observations;
+  reports_.push_back(
+      orchestrator_->RunLearningIteration(*env_, round, &observations));
+  if (on_round_) on_round_(round, reports_.back(), observations);
+
+  if (orchestrator_->LearningComplete(reports_)) {
+    finished_ = true;
+    return;
+  }
+  // Round k+1 at anchor + (k+1) * interval — re-derived from the round
+  // index on the absolute grid, like every other periodic scheduler here.
+  sim_->ScheduleAtUs(anchor_us_ + (round + 1) * interval_us_,
+                     [this]() { RunRound(); });
+}
+
+}  // namespace painter::core

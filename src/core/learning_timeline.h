@@ -1,0 +1,74 @@
+// Event-driven advertisement rounds on the shared DES timeline.
+//
+// Orchestrator::Learn() runs its iterations back-to-back in an external
+// loop — fine for pure optimization studies, but it gives advertisement
+// changes no place on the simulated clock, so nothing else (workload ticks,
+// DNS TTL refreshes, fault plans) can interleave with them. LearningTimeline
+// puts each round where it belongs: round k is a simulator event at exactly
+// start + k * round_interval on the absolute integer-µs grid (DESIGN.md §11),
+// and the next round is scheduled only while Orchestrator::LearningComplete
+// says the loop should continue. The iteration body and termination rule are
+// the same code Learn() calls, so the report sequence is bit-identical to
+// Learn() on the same orchestrator and environment — the golden tests pin
+// this equivalence.
+//
+// The round callback fires after each iteration with the report and the raw
+// environment observations; the unified timeline uses it to publish the new
+// configuration version to the TTL cache layer, which is how DNS staleness
+// lag between "advertised" and "clients actually steered" becomes visible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/orchestrator.h"
+#include "netsim/sim.h"
+
+namespace painter::core {
+
+struct LearningTimelineConfig {
+  double start_s = 0.0;           // first round, relative to Start()
+  double round_interval_s = 60.0; // spacing between advertisement rounds
+};
+
+class LearningTimeline {
+ public:
+  // (round index, that round's report, raw per-prefix observations).
+  using RoundCallback = std::function<void(
+      std::size_t, const Orchestrator::IterationReport&,
+      const std::vector<AdvertisementEnvironment::PrefixObservation>&)>;
+
+  // All references must outlive the timeline. Rounds draw no randomness of
+  // their own; determinism is inherited from the orchestrator/environment.
+  LearningTimeline(netsim::Simulator& sim, Orchestrator& orchestrator,
+                   AdvertisementEnvironment& env, LearningTimelineConfig config,
+                   RoundCallback on_round = {});
+
+  // Schedules round 0 at Now() + start_s; each completed round schedules its
+  // successor on the absolute grid until LearningComplete. Call once.
+  void Start();
+
+  // Reports of the rounds run so far (== Learn()'s return when finished).
+  [[nodiscard]] const std::vector<Orchestrator::IterationReport>& reports()
+      const {
+    return reports_;
+  }
+  [[nodiscard]] bool Finished() const { return finished_; }
+  [[nodiscard]] std::size_t RoundsRun() const { return reports_.size(); }
+
+ private:
+  void RunRound();
+
+  netsim::Simulator* sim_;
+  Orchestrator* orchestrator_;
+  AdvertisementEnvironment* env_;
+  LearningTimelineConfig config_;
+  RoundCallback on_round_;
+  netsim::SimTime anchor_us_ = 0;  // grid origin: Start() time + start_s
+  netsim::SimTime interval_us_ = 0;
+  std::vector<Orchestrator::IterationReport> reports_;
+  bool finished_ = false;
+};
+
+}  // namespace painter::core

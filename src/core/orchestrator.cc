@@ -376,85 +376,95 @@ void Orchestrator::Absorb(
   OrchestratorMetrics::Get().observations.Add(absorbed);
 }
 
+Orchestrator::IterationReport Orchestrator::RunLearningIteration(
+    AdvertisementEnvironment& env, std::size_t iter,
+    std::vector<AdvertisementEnvironment::PrefixObservation>*
+        out_observations) {
+  const obs::TraceSpan iter_span{"orchestrator.learn.iteration"};
+  OrchestratorMetrics::Get().learn_iterations.Add();
+  const ProblemInstance& inst = *instance_;
+  IterationReport report;
+  report.config = ComputeConfig();
+  {
+    const obs::TraceSpan predict_span{"orchestrator.Predict"};
+    report.predicted = Predict(report.config);
+  }
+  report.prefixes_used = report.config.NonEmptyPrefixCount();
+
+  auto observations = [&] {
+    const obs::TraceSpan exec_span{"environment.Execute"};
+    return env.Execute(report.config);
+  }();
+
+  // Realized benefit: each UG's Traffic Manager measures all prefixes it
+  // can reach and steers to the best, with anycast as the floor option.
+  double acc = 0.0;
+  double acc_pos = 0.0;
+  double w_pos = 0.0;
+  for (std::uint32_t u = 0; u < inst.UgCount(); ++u) {
+    double best = inst.anycast_rtt_ms[u];
+    for (const auto& obs : observations) {
+      if (obs.ingress_of_ug.at(u).has_value()) {
+        best = std::min(best, obs.rtt_ms_of_ug.at(u));
+      }
+    }
+    const double imp = inst.anycast_rtt_ms[u] - best;
+    acc += inst.ug_weight[u] * imp;
+    if (imp > 1e-9) {
+      acc_pos += inst.ug_weight[u] * imp;
+      w_pos += inst.ug_weight[u];
+    }
+  }
+  report.realized_ms = inst.total_weight == 0 ? 0 : acc / inst.total_weight;
+  report.realized_positive_ms = w_pos == 0 ? 0 : acc_pos / w_pos;
+
+  // Per-iteration telemetry (Fig. 6c's learning curve, as metrics): the
+  // predicted-vs-realized gap is the model error learning drives down.
+  // These values come from the seeded simulation, so they are reproducible
+  // and land in the deterministic section of the metrics export.
+  const std::string prefix =
+      "orchestrator.learn.iter" + std::to_string(iter) + ".";
+  obs::Metrics().GetGauge(prefix + "predicted_mean_ms")
+      .Set(report.predicted.mean_ms);
+  obs::Metrics().GetGauge(prefix + "realized_ms").Set(report.realized_ms);
+  obs::Metrics().GetGauge(prefix + "realized_positive_ms")
+      .Set(report.realized_positive_ms);
+  obs::Metrics().GetGauge(prefix + "prefixes_used")
+      .Set(static_cast<double>(report.prefixes_used));
+
+  if (config_.enable_learning) Absorb(report.config, observations);
+
+  // Pairwise preferences learned per round (cumulative after this absorb).
+  obs::Metrics().GetGauge(prefix + "preferences_total")
+      .Set(static_cast<double>(model_.PreferenceCount()));
+  if (out_observations != nullptr) *out_observations = std::move(observations);
+  return report;
+}
+
+bool Orchestrator::LearningComplete(
+    const std::vector<IterationReport>& reports) const {
+  if (reports.empty()) return false;  // always at least one iteration
+  if (!config_.enable_learning) return true;
+  if (reports.size() >= config_.max_learning_iterations) return true;
+
+  // Patience-based termination: learning routinely dips for an iteration
+  // while the model digests surprising observations, so stop only when the
+  // best realized benefit has been flat for `learning_patience` rounds.
+  std::vector<double> realized;
+  realized.reserve(reports.size());
+  for (const IterationReport& r : reports) realized.push_back(r.realized_ms);
+  return LearningShouldStop(realized, config_.learning_stop_frac,
+                            config_.learning_abs_epsilon_ms,
+                            config_.learning_patience);
+}
+
 std::vector<Orchestrator::IterationReport> Orchestrator::Learn(
     AdvertisementEnvironment& env) {
   const obs::TraceSpan learn_span{"orchestrator.Learn"};
-  OrchestratorMetrics& metrics = OrchestratorMetrics::Get();
-  const ProblemInstance& inst = *instance_;
   std::vector<IterationReport> reports;
-
-  for (std::size_t iter = 0; iter < config_.max_learning_iterations; ++iter) {
-    const obs::TraceSpan iter_span{"orchestrator.learn.iteration"};
-    metrics.learn_iterations.Add();
-    IterationReport report;
-    report.config = ComputeConfig();
-    {
-      const obs::TraceSpan predict_span{"orchestrator.Predict"};
-      report.predicted = Predict(report.config);
-    }
-    report.prefixes_used = report.config.NonEmptyPrefixCount();
-
-    const auto observations = [&] {
-      const obs::TraceSpan exec_span{"environment.Execute"};
-      return env.Execute(report.config);
-    }();
-
-    // Realized benefit: each UG's Traffic Manager measures all prefixes it
-    // can reach and steers to the best, with anycast as the floor option.
-    double acc = 0.0;
-    double acc_pos = 0.0;
-    double w_pos = 0.0;
-    for (std::uint32_t u = 0; u < inst.UgCount(); ++u) {
-      double best = inst.anycast_rtt_ms[u];
-      for (const auto& obs : observations) {
-        if (obs.ingress_of_ug.at(u).has_value()) {
-          best = std::min(best, obs.rtt_ms_of_ug.at(u));
-        }
-      }
-      const double imp = inst.anycast_rtt_ms[u] - best;
-      acc += inst.ug_weight[u] * imp;
-      if (imp > 1e-9) {
-        acc_pos += inst.ug_weight[u] * imp;
-        w_pos += inst.ug_weight[u];
-      }
-    }
-    report.realized_ms = inst.total_weight == 0 ? 0 : acc / inst.total_weight;
-    report.realized_positive_ms = w_pos == 0 ? 0 : acc_pos / w_pos;
-
-    // Per-iteration telemetry (Fig. 6c's learning curve, as metrics): the
-    // predicted-vs-realized gap is the model error learning drives down.
-    // These values come from the seeded simulation, so they are reproducible
-    // and land in the deterministic section of the metrics export.
-    const std::string prefix =
-        "orchestrator.learn.iter" + std::to_string(iter) + ".";
-    obs::Metrics().GetGauge(prefix + "predicted_mean_ms")
-        .Set(report.predicted.mean_ms);
-    obs::Metrics().GetGauge(prefix + "realized_ms").Set(report.realized_ms);
-    obs::Metrics().GetGauge(prefix + "realized_positive_ms")
-        .Set(report.realized_positive_ms);
-    obs::Metrics().GetGauge(prefix + "prefixes_used")
-        .Set(static_cast<double>(report.prefixes_used));
-
-    if (config_.enable_learning) Absorb(report.config, observations);
-
-    // Pairwise preferences learned per round (cumulative after this absorb).
-    obs::Metrics().GetGauge(prefix + "preferences_total")
-        .Set(static_cast<double>(model_.PreferenceCount()));
-    reports.push_back(std::move(report));
-    if (!config_.enable_learning) break;
-
-    // Patience-based termination: learning routinely dips for an iteration
-    // while the model digests surprising observations, so stop only when the
-    // best realized benefit has been flat for `learning_patience` rounds.
-    std::vector<double> realized;
-    realized.reserve(reports.size());
-    for (const IterationReport& r : reports) realized.push_back(r.realized_ms);
-    if (LearningShouldStop(realized, config_.learning_stop_frac,
-                           config_.learning_abs_epsilon_ms,
-                           config_.learning_patience)) {
-      break;
-    }
-  }
+  do {
+    reports.push_back(RunLearningIteration(env, reports.size()));
+  } while (!LearningComplete(reports));
   return reports;
 }
 

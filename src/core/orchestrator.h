@@ -129,7 +129,26 @@ class Orchestrator {
   };
 
   // Runs the full learning loop. Always performs at least one iteration.
+  // Equivalent to pushing RunLearningIteration results until
+  // LearningComplete — the event-driven LearningTimeline drives the same
+  // pieces from scheduled simulator events and yields bit-identical reports.
   std::vector<IterationReport> Learn(AdvertisementEnvironment& env);
+
+  // One learning iteration — the exact body of Learn()'s loop: compute,
+  // predict, execute, score realized benefit, emit the per-iteration gauges
+  // (slot `iter`), absorb observations when learning is enabled. When
+  // `out_observations` is non-null the environment's raw observations are
+  // moved out (the unified timeline publishes them to the DNS layer).
+  IterationReport RunLearningIteration(
+      AdvertisementEnvironment& env, std::size_t iter,
+      std::vector<AdvertisementEnvironment::PrefixObservation>*
+          out_observations = nullptr);
+
+  // Learn()'s termination rule over the reports so far: false while empty
+  // (at least one iteration always runs), then true once learning is
+  // disabled, the iteration cap is hit, or the patience rule fires.
+  [[nodiscard]] bool LearningComplete(
+      const std::vector<IterationReport>& reports) const;
 
   // Folds one round of observations into the routing model (exposed for
   // tests and for callers driving the loop manually).

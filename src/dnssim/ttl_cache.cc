@@ -1,0 +1,53 @@
+#include "dnssim/ttl_cache.h"
+
+#include <stdexcept>
+
+#include "util/hashmix.h"
+#include "util/rng.h"
+
+namespace painter::dnssim {
+
+TtlCache::TtlCache(netsim::Simulator& sim, std::size_t resolver_count,
+                   TtlCacheConfig config)
+    : sim_(&sim), ttl_us_(netsim::UsFromSeconds(config.ttl_s)) {
+  if (ttl_us_ == 0) {
+    throw std::invalid_argument{"TtlCache: ttl_s below 1 microsecond"};
+  }
+  phase_us_.reserve(resolver_count);
+  util::Rng rng{util::MixSeed(config.seed, 0x77Au)};
+  for (std::size_t r = 0; r < resolver_count; ++r) {
+    // Uncorrelated expiry instants across resolvers: a fixed per-resolver
+    // offset in [0, ttl), drawn once here — never during the run.
+    phase_us_.push_back(static_cast<netsim::SimTime>(rng.UniformInt(
+        0, static_cast<std::int64_t>(ttl_us_) - 1)));
+  }
+  refresh_index_.assign(resolver_count, 0);
+  cached_version_.assign(resolver_count, 0);
+}
+
+void TtlCache::Start(double horizon_s) {
+  start_us_ = sim_->NowUs();
+  horizon_us_ = start_us_ + netsim::UsFromSeconds(horizon_s);
+  for (std::uint32_t r = 0; r < cached_version_.size(); ++r) {
+    const netsim::SimTime first = start_us_ + phase_us_[r];
+    if (first > horizon_us_) continue;
+    sim_->ScheduleAtUs(first, [this, r]() { Refresh(r); });
+  }
+}
+
+void TtlCache::Refresh(std::uint32_t resolver) {
+  ++stats_.refreshes;
+  if (cached_version_[resolver] != authoritative_version_) {
+    cached_version_[resolver] = authoritative_version_;
+    ++stats_.version_updates;
+  }
+  const std::uint64_t k = ++refresh_index_[resolver];
+  // Next refresh on the absolute grid: phase_r + (k+... ) * ttl. Re-derived
+  // from the refresh index, never accumulated, so a billion refreshes stay
+  // exactly on-grid.
+  const netsim::SimTime next = start_us_ + phase_us_[resolver] + k * ttl_us_;
+  if (next > horizon_us_) return;
+  sim_->ScheduleAtUs(next, [this, resolver]() { Refresh(resolver); });
+}
+
+}  // namespace painter::dnssim

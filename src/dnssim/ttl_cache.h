@@ -1,0 +1,84 @@
+// Event-driven recursive-resolver TTL cache on the shared DES timeline.
+//
+// The closed-form TTL study (ttl_study.h) answers "how many bytes move after
+// a record expires" in isolation; this cache is the live counterpart the
+// unified timeline needs (DESIGN.md §11): when the orchestrator publishes a
+// new advertisement configuration, resolvers do NOT see it instantly — each
+// recursive resolver re-fetches the record only when its cached copy's TTL
+// runs out (§2.2, Fig. 3 is about what happens in between). The cache models
+// exactly that lag: the authoritative side publishes monotonically increasing
+// configuration versions, and every resolver holds the version it fetched at
+// its last refresh until its next TTL boundary.
+//
+// All refresh activity is ordinary simulator events on the absolute
+// integer-µs grid: resolver r refreshes at phase_r + k * ttl_us, where
+// phase_r is a deterministic per-resolver stagger drawn from the seed (real
+// resolver caches expire at client-driven, uncorrelated instants, not in
+// lockstep). No randomness is drawn during the run, so interleaving with the
+// TM-Edge, workload ticks, and advertisement rounds is a pure function of
+// (seed, config) and the published-version sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/sim.h"
+
+namespace painter::dnssim {
+
+struct TtlCacheConfig {
+  double ttl_s = 60.0;       // record TTL; refresh period per resolver
+  std::uint64_t seed = 17;   // drives the per-resolver phase stagger only
+};
+
+class TtlCache {
+ public:
+  struct Stats {
+    std::uint64_t refreshes = 0;       // refresh events executed
+    std::uint64_t version_updates = 0; // refreshes that changed the version
+  };
+
+  // The cache schedules nothing until Start(); `sim` must outlive it.
+  TtlCache(netsim::Simulator& sim, std::size_t resolver_count,
+           TtlCacheConfig config = {});
+
+  // Schedules each resolver's refresh chain (phase_r + k * ttl) up to and
+  // including `horizon_s`. Call once, before running the simulator.
+  void Start(double horizon_s);
+
+  // Authoritative record update (advertisement round completed): resolvers
+  // pick `version` up at their next refresh, not before. Versions must be
+  // non-decreasing; the caller owns their meaning.
+  void Publish(std::uint64_t version) { authoritative_version_ = version; }
+
+  // The version resolver r currently serves to its clients.
+  [[nodiscard]] std::uint64_t VersionOf(std::uint32_t resolver) const {
+    return cached_version_.at(resolver);
+  }
+  // True while r still serves an older version than the authoritative one.
+  [[nodiscard]] bool IsStale(std::uint32_t resolver) const {
+    return cached_version_.at(resolver) != authoritative_version_;
+  }
+  [[nodiscard]] std::uint64_t AuthoritativeVersion() const {
+    return authoritative_version_;
+  }
+  [[nodiscard]] std::size_t ResolverCount() const {
+    return cached_version_.size();
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void Refresh(std::uint32_t resolver);
+
+  netsim::Simulator* sim_;
+  netsim::SimTime ttl_us_;
+  std::vector<netsim::SimTime> phase_us_;       // per-resolver grid offset
+  std::vector<std::uint64_t> refresh_index_;    // k of the next refresh
+  std::vector<std::uint64_t> cached_version_;   // what each resolver serves
+  std::uint64_t authoritative_version_ = 0;
+  netsim::SimTime start_us_ = 0;
+  netsim::SimTime horizon_us_ = 0;
+  Stats stats_;
+};
+
+}  // namespace painter::dnssim

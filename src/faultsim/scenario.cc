@@ -71,18 +71,25 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioSpec& spec,
   // Pinning recorder: read-only snapshots of the flow table on the sample
   // grid (no RNG draws, so it cannot perturb the TmEdge event sequence).
   // SortedItems() is already FlowKey-ordered — the store's slot order never
-  // leaks into results.
-  std::function<void()> record_pinning = [&]() {
-    if (sim.Now() > spec.run_for_s) return;
-    FaultScenarioResult::PinningSnapshot snap;
-    snap.t = sim.Now();
-    for (const auto& [key, stats] : edge.flows().SortedItems()) {
-      snap.flow_tunnels.emplace_back(key, stats.tunnel);
-    }
-    result.pinning.push_back(std::move(snap));
-    sim.Schedule(spec.sample_every_s, record_pinning);
-  };
-  record_pinning();
+  // leaks into results. Sample k lands at exactly k * sample_us on the
+  // absolute integer grid, never at an accumulated relative sum.
+  const netsim::SimTime sample_us =
+      netsim::UsFromSeconds(spec.sample_every_s);
+  std::function<void(std::uint64_t)> record_pinning =
+      [&](std::uint64_t sample_index) {
+        if (sim.Now() > spec.run_for_s) return;
+        FaultScenarioResult::PinningSnapshot snap;
+        snap.t = sim.Now();
+        for (const auto& [key, stats] : edge.flows().SortedItems()) {
+          snap.flow_tunnels.emplace_back(key, stats.tunnel);
+        }
+        result.pinning.push_back(std::move(snap));
+        sim.ScheduleAtUs((sample_index + 1) * sample_us,
+                         [&record_pinning, sample_index]() {
+                           record_pinning(sample_index + 1);
+                         });
+      };
+  record_pinning(0);
 
   if (spec.attach) spec.attach(sim, edge, tunnel_pop);
 

@@ -1,31 +1,36 @@
 #include "netsim/sim.h"
 
-#include <stdexcept>
-#include <utility>
+#include <algorithm>
 
 namespace painter::netsim {
 
 void Simulator::Schedule(double delay_s, Handler fn) {
   if (delay_s < 0.0) throw std::invalid_argument{"Schedule: negative delay"};
-  ScheduleAt(now_ + delay_s, std::move(fn));
+  ScheduleAtUs(now_us_ + UsFromSeconds(delay_s), std::move(fn));
 }
 
 void Simulator::ScheduleAt(double at_s, Handler fn) {
-  if (at_s < now_) throw std::invalid_argument{"ScheduleAt: time in the past"};
-  queue_.push(Event{at_s, next_seq_++, std::move(fn)});
+  ScheduleAtUs(UsFromSeconds(at_s), std::move(fn));
 }
 
-void Simulator::Run(double until_s) {
-  while (!queue_.empty() && queue_.top().at <= until_s) {
-    // priority_queue::top is const; move out via const_cast-free copy of the
-    // handler after popping the metadata.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.at;
+void Simulator::ScheduleAtUs(SimTime at_us, Handler fn) {
+  if (at_us < now_us_) {
+    throw std::invalid_argument{"ScheduleAt: time in the past"};
+  }
+  heap_.push_back(Event{at_us, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::RunUntilUs(SimTime until_us) {
+  while (!heap_.empty() && heap_.front().at <= until_us) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    now_us_ = ev.at;
     ++executed_;
     ev.fn();
   }
-  if (now_ < until_s) now_ = until_s;
+  if (now_us_ < until_us) now_us_ = until_us;
 }
 
 }  // namespace painter::netsim

@@ -1,6 +1,7 @@
 #include "workload/engine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/metrics.h"
 
@@ -36,12 +37,17 @@ WorkloadEngine::WorkloadEngine(netsim::Simulator& sim, tm::TmEdge& edge,
       policy_(&policy),
       trace_(&trace),
       config_(config),
-      store_(config.store) {
-  const auto duration_us = static_cast<double>(trace.duration_us);
-  const double tick_us = config_.tick_s * 1e6;
+      store_(config.store),
+      tick_us_(netsim::UsFromSeconds(config.tick_s)) {
+  if (tick_us_ == 0) {
+    throw std::invalid_argument{"WorkloadEngine: tick_s below 1 microsecond"};
+  }
   // One bucket per tick of the trace, plus one absorbing bucket for flows
   // whose (clamped) lifetime outlives the trace — drained by the final tick.
-  const auto ticks = static_cast<std::size_t>(duration_us / tick_us) + 2;
+  // Pure integer arithmetic: the bucket count and BucketOf divide the same
+  // integer tick, so the last in-trace expiry always lands in-range.
+  const std::size_t ticks =
+      static_cast<std::size_t>(trace.duration_us / tick_us_) + 2;
   expiry_buckets_.resize(ticks);
 }
 
@@ -79,13 +85,18 @@ void WorkloadEngine::Start() {
       return pick >= 0 ? pick : chosen;
     });
   }
-  sim_->Schedule(config_.tick_s, [this]() { Tick(); });
+  // Anchor the tick grid at the attach time: tick k fires at exactly
+  // start_us_ + (k+1) * tick_us_, an integer arithmetic progression the
+  // rescheduling in Tick() re-derives from tick_index_ every time instead of
+  // accumulating relative delays.
+  start_us_ = sim_->NowUs();
+  sim_->ScheduleAtUs(start_us_ + tick_us_, [this]() { Tick(); });
 }
 
 std::size_t WorkloadEngine::BucketOf(std::uint64_t expiry_us) const {
-  const auto bucket =
-      static_cast<std::size_t>(static_cast<double>(expiry_us) /
-                               (config_.tick_s * 1e6));
+  // expiry_us is trace time; bucket k is drained by tick k, which fires at
+  // trace time (k+1) * tick_us_ >= every expiry in [k*tick, (k+1)*tick).
+  const auto bucket = static_cast<std::size_t>(expiry_us / tick_us_);
   return std::min(bucket, expiry_buckets_.size() - 1);
 }
 
@@ -118,8 +129,7 @@ void WorkloadEngine::Admit(const FlowEvent& event,
   flow.tunnel = pick;
   flow.pop = pop;
   flow.bytes = event.bytes;
-  flow.expiry_us =
-      event.start_us + static_cast<std::uint64_t>(duration_s * 1e6);
+  flow.expiry_us = event.start_us + netsim::UsFromSeconds(duration_s);
   flow.rate_bps = rate_bps;
 
   load_->OnAssign(pop, rate_bps);
@@ -145,10 +155,18 @@ void WorkloadEngine::ExpireBucket(std::size_t bucket) {
 }
 
 void WorkloadEngine::Tick() {
-  const auto now_us = static_cast<std::uint64_t>(sim_->Now() * 1e6);
+  // Trace time, exact on the integer clock — no float round-trip, so an
+  // arrival due precisely on the tick boundary satisfies `<= now_us`.
+  const std::uint64_t now_us = sim_->NowUs() - start_us_;
+  const std::uint64_t expected_us = (tick_index_ + 1) * tick_us_;
+  stats_.max_tick_skew_us =
+      std::max(stats_.max_tick_skew_us, now_us > expected_us
+                                            ? now_us - expected_us
+                                            : expected_us - now_us);
   const std::vector<TunnelView> views = CurrentViews();
   const std::vector<FlowEvent>& events = trace_->events;
   while (cursor_ < events.size() && events[cursor_].start_us <= now_us) {
+    if (config_.on_arrival) config_.on_arrival(events[cursor_]);
     Admit(events[cursor_], views);
     ++cursor_;
   }
@@ -160,8 +178,7 @@ void WorkloadEngine::Tick() {
 
   const bool trace_done = cursor_ >= events.size();
   const bool drained = store_.empty();
-  const bool past_end =
-      now_us >= trace_->duration_us + static_cast<std::uint64_t>(1e6);
+  const bool past_end = now_us >= trace_->duration_us + 1'000'000u;
   if (trace_done && (drained || past_end)) {
     // Final drain: release whatever outlived the trace so the load gauges
     // settle back to zero, then stop rescheduling.
@@ -171,7 +188,9 @@ void WorkloadEngine::Tick() {
     load_->ExportGauges();
     return;
   }
-  sim_->Schedule(config_.tick_s, [this]() { Tick(); });
+  // Next tick on the absolute grid — re-derived, never accumulated.
+  sim_->ScheduleAtUs(start_us_ + (tick_index_ + 1) * tick_us_,
+                     [this]() { Tick(); });
 }
 
 }  // namespace painter::workload

@@ -13,6 +13,16 @@
 //      expiry is a bucket drain (lookup, release load, erase), never a scan
 //      of the whole table.
 //
+// Ticks live on the simulator's absolute integer-µs grid: tick k fires at
+// exactly start + (k+1) * tick_us via ScheduleAtUs, never by accumulating
+// relative delays, so tick times and the expiry-bucket grid (bucket =
+// expiry_us / tick_us) index the same arithmetic progression on traces of
+// any length. Admission compares integer µs (`start_us <= now_us`), so an
+// arrival due exactly on a tick boundary is admitted in that tick — there is
+// no float truncation anywhere on the admission or expiry path.
+// Stats::max_tick_skew_us watermarks |actual - expected| tick time and must
+// stay 0; the timeline regression test asserts it.
+//
 // Pinning is immutable (§3.2): a flow's record never changes destination
 // after admission, across any number of store rehashes or expiry sweeps.
 // The engine draws no randomness at all — everything derives from the trace
@@ -26,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "netsim/sim.h"
@@ -46,7 +57,7 @@ struct PinnedFlow {
 };
 
 struct EngineConfig {
-  double tick_s = 0.1;  // batch granularity for admission and expiry
+  double tick_s = 0.1;  // batch granularity for admission and expiry (>= 1µs)
   // Per-flow service rate: a flow of B bytes stays pinned for B / rate
   // seconds (clamped below), occupying rate bytes/s of its PoP's capacity.
   double flow_bytes_per_s = 100.0e3;
@@ -55,6 +66,11 @@ struct EngineConfig {
   // Install the capacity-aware placer on the TM-Edge so scripted flows
   // (per-packet, via StartFlow) follow the same policy as workload flows.
   bool place_edge_flows = false;
+  // Called once per consumed trace event, before admission, with the engine
+  // already at the event's governing tick. The unified-timeline bench uses
+  // this to weight benefit curves by the realized byte mix; the hook must be
+  // deterministic and must not mutate the engine or the edge.
+  std::function<void(const FlowEvent&)> on_arrival;
   FlowStoreConfig store;
 };
 
@@ -74,6 +90,11 @@ class WorkloadEngine {
     std::uint64_t saturated_assignments = 0;
     double bytes_offered = 0.0;
     double max_utilization = 0.0;  // high-water mark across PoPs and ticks
+    // Largest |tick fire time - its absolute-grid slot| seen, in µs. Always
+    // 0 on the ScheduleAtUs grid; nonzero means tick scheduling drifted off
+    // the expiry-bucket grid (the pre-integer-clock relative-rescheduling
+    // bug). Pinned to 0 by tests/timeline_test.cc.
+    std::uint64_t max_tick_skew_us = 0;
   };
 
   // `tunnel_pop[i]` maps the edge's tunnel i to a LoadTracker PoP index.
@@ -115,6 +136,8 @@ class WorkloadEngine {
   EngineConfig config_;
 
   FlowStore<PinnedFlow> store_;
+  netsim::SimTime tick_us_ = 0;   // quantized EngineConfig::tick_s
+  netsim::SimTime start_us_ = 0;  // grid anchor: sim time at Start()
   std::size_t cursor_ = 0;  // next unconsumed trace event
   std::size_t tick_index_ = 0;
   // expiry_buckets_[k]: keys whose flows expire within tick k.

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "netsim/nat.h"
 #include "netsim/packet.h"
 #include "netsim/path.h"
@@ -63,6 +67,48 @@ TEST(SimulatorTest, PastAbsoluteTimeThrows) {
   sim.Schedule(5.0, [] {});
   sim.Run(5.0);
   EXPECT_THROW(sim.ScheduleAt(4.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, IntegerClockQuantizesToNearestMicrosecond) {
+  Simulator sim;
+  SimTime seen = 0;
+  // 0.1 is not representable in binary; ten accumulated doubles sum to
+  // 0.9999999999999999. The integer clock rounds each *delay* to the grid,
+  // so ten relative 0.1 s steps land on exactly 1'000'000 µs.
+  std::function<void()> step = [&] {
+    seen = sim.NowUs();
+    if (seen < 1'000'000) sim.Schedule(0.1, step);
+  };
+  sim.Schedule(0.1, step);
+  sim.Run(10.0);
+  EXPECT_EQ(seen, 1'000'000u);
+
+  EXPECT_EQ(UsFromSeconds(0.1), 100'000u);
+  EXPECT_EQ(UsFromSeconds(0.9999999999999999), 1'000'000u);  // round, not trunc
+  EXPECT_THROW(UsFromSeconds(-0.5), std::invalid_argument);
+}
+
+TEST(SimulatorTest, ScheduleAtUsRunsOnExactGrid) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime k = 1; k <= 5; ++k) {
+    sim.ScheduleAtUs(k * 250'000, [&fired, &sim] { fired.push_back(sim.NowUs()); });
+  }
+  sim.RunUntilUs(2'000'000);
+  EXPECT_EQ(fired, (std::vector<SimTime>{250'000, 500'000, 750'000,
+                                         1'000'000, 1'250'000}));
+  EXPECT_EQ(sim.NowUs(), 2'000'000u);
+}
+
+TEST(SimulatorTest, MoveOnlyHandlersRun) {
+  Simulator sim;
+  auto token = std::make_unique<int>(41);
+  int result = 0;
+  // A unique_ptr capture makes the lambda move-only; the old
+  // std::function-based queue could not even compile this.
+  sim.Schedule(1.0, [token = std::move(token), &result] { result = *token + 1; });
+  sim.Run(2.0);
+  EXPECT_EQ(result, 42);
 }
 
 TEST(PacketTest, EncapOverheadCounted) {

@@ -9,7 +9,12 @@
 #   3. workload — the workload-engine tier (ctest -L workload) plus a smoke
 #                 run of bench/workload_throughput (tiny trace, full pipeline:
 #                 generate -> pin-lookup -> policy replay).
-#   4. ASan+UBSan, then TSan — dedicated sanitizer build trees running the
+#   4. timeline — the unified-timeline tier (ctest -L timeline: integer-µs
+#                 clock, tick-grid, TTL-cache, and byte-identity tests) plus
+#                 a smoke run of bench/unified_timeline, whose own gates
+#                 require >= 2 advertisement rounds interleaved with the
+#                 trace and a zero tick skew.
+#   5. ASan+UBSan, then TSan — dedicated sanitizer build trees running the
 #                 `sanitize` + `property` label selection (tools/asan_check.sh
 #                 and tools/tsan_check.sh), which includes the faultsim chaos
 #                 batch at multiple thread counts.
@@ -22,23 +27,28 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
-echo "=== ci 1/5: tier1 correctness gate ==="
+echo "=== ci 1/6: tier1 correctness gate ==="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure
 
-echo "=== ci 2/5: property suites ==="
+echo "=== ci 2/6: property suites ==="
 ctest --test-dir "$BUILD_DIR" -L property --output-on-failure
 
-echo "=== ci 3/5: workload tier + throughput smoke ==="
+echo "=== ci 3/6: workload tier + throughput smoke ==="
 ctest --test-dir "$BUILD_DIR" -L workload --output-on-failure
 cmake --build "$BUILD_DIR" -j --target workload_throughput >/dev/null
 "$BUILD_DIR"/bench/workload_throughput --smoke >/dev/null
 
-echo "=== ci 4/5: ASan+UBSan (sanitize|property labels) ==="
+echo "=== ci 4/6: timeline tier + unified-timeline smoke ==="
+ctest --test-dir "$BUILD_DIR" -L timeline --output-on-failure
+cmake --build "$BUILD_DIR" -j --target unified_timeline >/dev/null
+"$BUILD_DIR"/bench/unified_timeline --smoke >/dev/null
+
+echo "=== ci 5/6: ASan+UBSan (sanitize|property labels) ==="
 tools/asan_check.sh
 
-echo "=== ci 5/5: TSan (sanitize|property labels) ==="
+echo "=== ci 6/6: TSan (sanitize|property labels) ==="
 tools/tsan_check.sh
 
 echo "ci_check: all stages green."

@@ -12,6 +12,9 @@
 #    events, >= 100k concurrent pins — the bench exits non-zero if the scale
 #    gates fail) and diffs its report against the workload baseline the same
 #    way.
+# 4. Builds and runs bench/unified_timeline at full scale (its own gates
+#    require >= 2 advertisement rounds on the shared clock and zero tick
+#    skew) and diffs its report against the timeline baseline.
 #
 # If a baseline doesn't exist yet, the fresh report is installed as the
 # baseline (commit it) and that gate succeeds.
@@ -26,6 +29,7 @@ TOLERANCE="${2:-0.25}"
 LABELS="${3:-tier1}"
 BASELINE=bench/results/BENCH_micro_orchestrator.baseline.json
 WORKLOAD_BASELINE=bench/results/BENCH_workload_throughput.baseline.json
+TIMELINE_BASELINE=bench/results/BENCH_unified_timeline.baseline.json
 REPORT_DIR="$BUILD_DIR/bench_reports"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
@@ -63,9 +67,24 @@ if [[ ! -f "$WORKLOAD_BASELINE" ]]; then
   cp "$WORKLOAD_REPORT" "$WORKLOAD_BASELINE"
   echo "No workload baseline; installed $WORKLOAD_REPORT as" \
        "$WORKLOAD_BASELINE — commit it."
+else
+  tools/bench_compare.py "$WORKLOAD_BASELINE" "$WORKLOAD_REPORT" \
+    --tolerance "$TOLERANCE"
+  echo "Perf check passed against $WORKLOAD_BASELINE."
+fi
+
+# --- Unified-timeline gate: one-clock interleaving + perf trajectory. ---
+cmake --build "$BUILD_DIR" -j --target unified_timeline
+PAINTER_REPORT_DIR="$REPORT_DIR" "$BUILD_DIR"/bench/unified_timeline
+TIMELINE_REPORT="$REPORT_DIR/BENCH_unified_timeline.json"
+
+if [[ ! -f "$TIMELINE_BASELINE" ]]; then
+  cp "$TIMELINE_REPORT" "$TIMELINE_BASELINE"
+  echo "No timeline baseline; installed $TIMELINE_REPORT as" \
+       "$TIMELINE_BASELINE — commit it."
   exit 0
 fi
 
-tools/bench_compare.py "$WORKLOAD_BASELINE" "$WORKLOAD_REPORT" \
+tools/bench_compare.py "$TIMELINE_BASELINE" "$TIMELINE_REPORT" \
   --tolerance "$TOLERANCE"
-echo "Perf check passed against $WORKLOAD_BASELINE."
+echo "Perf check passed against $TIMELINE_BASELINE."
