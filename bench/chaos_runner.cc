@@ -16,10 +16,23 @@
 // obs::StripVolatile removes wall-ms noise). Exit status is the number of
 // violating seeds (0 = all invariants held).
 //
+// The --under_load mode is the detection-latency SLO harness: each seed runs
+// its world twice — idle (two scripted flows) and loaded (the workload
+// engine keeping a full flow table through the capacity-aware policy) — and
+// the runner aggregates detection latency in RTTs of the dead path (the
+// paper's unit; §5.2.3 quotes ~1.3 RTT). The exit status asserts the SLO
+// (loaded p99 <= --slo_p99_rtts, default 8) on top of the invariant checks,
+// and the run report carries a painter.timeseries.v1 block from the first
+// loaded seed that is byte-identical across reruns and --threads 1/2/4
+// (after obs::StripVolatile). perf_check.sh gates this report against a
+// committed baseline.
+//
 // Usage:
 //   chaos_runner               # seeds 1..50
 //   chaos_runner --seeds 200   # seeds 1..200
 //   chaos_runner --seed 17     # just seed 17 (repro mode)
+//   chaos_runner --under_load [--seeds N] [--threads T] [--slo_p99_rtts X]
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +48,7 @@
 #include "faultsim/scenario.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "workload/chaos_load.h"
@@ -62,6 +76,7 @@ struct SeedResult {
   std::size_t failovers = 0;
   std::vector<std::string> violations;
   std::vector<double> detection_latencies_s;
+  std::vector<faultsim::InvariantReport::Detection> detections;
 };
 
 SeedResult RunTmSeed(std::uint64_t seed) {
@@ -76,7 +91,124 @@ SeedResult RunTmSeed(std::uint64_t seed) {
                     .checks = rep.checks,
                     .failovers = result.failovers.size(),
                     .violations = rep.violations,
-                    .detection_latencies_s = rep.detection_latencies_s};
+                    .detection_latencies_s = rep.detection_latencies_s,
+                    .detections = rep.detections};
+}
+
+// Detection latencies expressed in RTTs of the path that died.
+std::vector<double> InRtts(
+    const std::vector<faultsim::InvariantReport::Detection>& detections) {
+  std::vector<double> rtts;
+  rtts.reserve(detections.size());
+  for (const auto& d : detections) {
+    if (d.rtt_s > 0.0) rtts.push_back(d.latency_s / d.rtt_s);
+  }
+  return rtts;
+}
+
+// The --under_load SLO harness: idle vs loaded detection latency per seed,
+// aggregated in RTTs. Returns the process exit status.
+int RunUnderLoadMode(std::uint64_t first_seed, std::uint64_t last_seed,
+                     std::size_t threads, double slo_p99_rtts) {
+  obs::Metrics().ResetValues();
+  obs::RunReport report{"chaos_under_load"};
+  report.SetSeed(first_seed);
+  report.AddConfig("first_seed", static_cast<double>(first_seed));
+  report.AddConfig("last_seed", static_cast<double>(last_seed));
+  report.AddConfig("slo_p99_rtts", slo_p99_rtts);
+
+  // One streaming-telemetry registry, attached to the first loaded seed only
+  // (every seed would multiply the report by the sweep width). Samplers
+  // reference run-local objects, so the registry is only sampled during that
+  // run and only exported afterwards.
+  obs::TimeseriesRegistry timeseries{{.period_s = 1.0}};
+
+  std::vector<double> idle_rtts;
+  std::vector<double> loaded_rtts;
+  std::size_t violating_seeds = 0;
+  std::size_t loaded_flows = 0;
+  double max_utilization = 0.0;
+  {
+    const obs::RunReport::ScopedPhase phase{report, "idle_sweep"};
+    for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+      const SeedResult r = RunTmSeed(seed);
+      const std::vector<double> rtts = InRtts(r.detections);
+      idle_rtts.insert(idle_rtts.end(), rtts.begin(), rtts.end());
+      if (!r.violations.empty()) {
+        ++violating_seeds;
+        for (const auto& v : r.violations) {
+          std::cout << "VIOLATION idle seed=" << seed << ": " << v << "\n";
+        }
+      }
+    }
+  }
+  {
+    const obs::RunReport::ScopedPhase phase{report, "loaded_sweep"};
+    for (std::uint64_t seed = first_seed; seed <= last_seed; ++seed) {
+      workload::ChaosLoadConfig cfg;
+      cfg.num_threads = threads;
+      if (seed == first_seed) cfg.timeseries = &timeseries;
+      const workload::ChaosLoadResult r =
+          workload::RunChaosUnderLoad(seed, {}, cfg);
+      const std::vector<double> rtts = InRtts(r.invariants.detections);
+      loaded_rtts.insert(loaded_rtts.end(), rtts.begin(), rtts.end());
+      loaded_flows += r.load_stats.started;
+      max_utilization = std::max(max_utilization, r.load_stats.max_utilization);
+      std::vector<std::string> all = r.invariants.violations;
+      all.insert(all.end(), r.load_violations.begin(), r.load_violations.end());
+      if (!all.empty()) {
+        ++violating_seeds;
+        for (const auto& v : all) {
+          std::cout << "VIOLATION loaded seed=" << seed << ": " << v << "\n";
+        }
+      }
+    }
+  }
+
+  const auto summarize = [&](const char* key, std::vector<double>& rtts) {
+    report.AddValue(std::string{key} + "_detections",
+                    static_cast<double>(rtts.size()));
+    if (rtts.empty()) return 0.0;
+    const double p50 = util::Percentile(rtts, 50.0);
+    const double p99 = util::Percentile(rtts, 99.0);
+    report.AddValue(std::string{key} + "_p50_rtts", p50);
+    report.AddValue(std::string{key} + "_p99_rtts", p99);
+    std::cout << key << " detection latency over " << rtts.size()
+              << " bounded onsets: p50 " << util::Table::Num(p50, 2)
+              << " RTTs, p99 " << util::Table::Num(p99, 2)
+              << " RTTs (cf. Fig. 10: ~1.3 RTT of the dead path).\n";
+    return p99;
+  };
+  summarize("idle", idle_rtts);
+  const double loaded_p99 = summarize("loaded", loaded_rtts);
+
+  // The SLO proper: under a full flow table, tail detection must stay within
+  // the configured bound, and the sweep must actually produce detections to
+  // measure (an empty histogram proves nothing).
+  std::size_t slo_breaches = 0;
+  if (loaded_rtts.empty()) {
+    std::cout << "SLO BREACH: loaded sweep produced zero bounded detections\n";
+    ++slo_breaches;
+  } else if (loaded_p99 > slo_p99_rtts) {
+    std::cout << "SLO BREACH: loaded p99 " << util::Table::Num(loaded_p99, 2)
+              << " RTTs > bound " << util::Table::Num(slo_p99_rtts, 2)
+              << " RTTs\n";
+    ++slo_breaches;
+  }
+
+  std::cout << "chaos_under_load: " << (last_seed - first_seed + 1)
+            << " seed(s) x {idle, loaded}, " << loaded_flows
+            << " workload flows, " << violating_seeds << " violating seed(s), "
+            << slo_breaches << " SLO breach(es).\n";
+
+  report.AddValue("loaded_flows", static_cast<double>(loaded_flows));
+  report.AddValue("max_utilization", max_utilization);
+  report.AddValue("violating_seeds", static_cast<double>(violating_seeds));
+  report.AddValue("slo_breaches", static_cast<double>(slo_breaches));
+  report.AttachTimeseries(timeseries);
+  report.AttachMetrics();
+  report.Write(bench::ReportPath("chaos_under_load"));
+  return static_cast<int>(violating_seeds + slo_breaches);
 }
 
 // BGP-layer replay on a shared bench world: schedule the seed's session
@@ -111,15 +243,28 @@ std::vector<std::string> RunBgpSeed(std::uint64_t seed,
 int main(int argc, char** argv) {
   std::uint64_t first_seed = 1;
   std::uint64_t last_seed = 50;
+  bool under_load = false;
+  std::size_t threads = 1;
+  double slo_p99_rtts = 8.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       last_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       first_seed = last_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--under_load") == 0) {
+      under_load = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--slo_p99_rtts") == 0 && i + 1 < argc) {
+      slo_p99_rtts = std::strtod(argv[++i], nullptr);
     } else {
-      std::cerr << "usage: chaos_runner [--seeds N | --seed S]\n";
+      std::cerr << "usage: chaos_runner [--seeds N | --seed S] [--under_load] "
+                   "[--threads T] [--slo_p99_rtts X]\n";
       return 64;
     }
+  }
+  if (under_load) {
+    return RunUnderLoadMode(first_seed, last_seed, threads, slo_p99_rtts);
   }
 
   obs::Metrics().ResetValues();

@@ -28,6 +28,7 @@
 #include "bench/bench_common.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "timeline/unified.h"
 #include "util/table.h"
 
@@ -97,11 +98,18 @@ int main(int argc, char** argv) {
   report.AddConfig("max_rounds", static_cast<double>(cfg.max_rounds));
   report.AddConfig("ttl_s", cfg.ttl_s);
 
+  // Streaming telemetry for the whole run: occupancy, per-PoP utilization,
+  // TTL staleness, per-round predicted/realized — attached to the report as
+  // a painter.timeseries.v1 block (deterministic, thread-count-invariant).
+  obs::TimeseriesRegistry timeseries{{.period_s = smoke ? 5.0 : 10.0}};
+  cfg.timeseries = &timeseries;
+
   timeline::UnifiedTimelineResult result;
   {
     const obs::RunReport::ScopedPhase phase{report, "run"};
     result = timeline::RunUnifiedTimeline(cfg);
   }
+  report.AttachTimeseries(timeseries);
 
   std::cout << "Advertisement rounds (on the shared clock):\n";
   util::Table rounds{{"round", "t (s)", "predicted (ms)", "realized (ms)",

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace painter::bgpsim {
 namespace {
@@ -75,6 +76,12 @@ void MessageLevelSim::Withdraw(const std::vector<util::AsId>& from_neighbors) {
     ++sent;
   }
   if (sent > 0) churn_log_.emplace_back(sim_->Now(), sent);
+}
+
+void MessageLevelSim::RegisterTimeseries(obs::TimeseriesRegistry& reg) const {
+  reg.RegisterSampler("bgpsim.session.processed_msgs", [this]() {
+    return static_cast<double>(processed_);
+  });
 }
 
 void MessageLevelSim::SendMessage(util::AsId from, util::AsId to,

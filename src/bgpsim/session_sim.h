@@ -26,6 +26,10 @@
 #include "topo/as_graph.h"
 #include "util/rng.h"
 
+namespace painter::obs {
+class TimeseriesRegistry;
+}  // namespace painter::obs
+
 namespace painter::bgpsim {
 
 class MessageLevelSim {
@@ -70,6 +74,11 @@ class MessageLevelSim {
       const {
     return churn_log_;
   }
+
+  // Registers a `bgpsim.session.processed_msgs` sampled series on `reg`
+  // (cumulative messages processed; churn rate is its discrete derivative).
+  // The sampler reads this sim; `reg` must not outlive it.
+  void RegisterTimeseries(obs::TimeseriesRegistry& reg) const;
 
  private:
   enum class Rel : std::uint8_t { kNone, kCustomer, kPeer, kProvider };

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/timeseries.h"
+
 namespace painter::core {
 
 LearningTimeline::LearningTimeline(netsim::Simulator& sim,
@@ -32,6 +34,13 @@ void LearningTimeline::RunRound() {
   std::vector<AdvertisementEnvironment::PrefixObservation> observations;
   reports_.push_back(
       orchestrator_->RunLearningIteration(*env_, round, &observations));
+  if (config_.timeseries != nullptr) {
+    const Orchestrator::IterationReport& rep = reports_.back();
+    config_.timeseries->Append("orchestrator.round.predicted_ms",
+                               sim_->NowUs(), rep.predicted.estimated_ms);
+    config_.timeseries->Append("orchestrator.round.realized_ms", sim_->NowUs(),
+                               rep.realized_ms);
+  }
   if (on_round_) on_round_(round, reports_.back(), observations);
 
   if (orchestrator_->LearningComplete(reports_)) {

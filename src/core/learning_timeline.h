@@ -25,11 +25,20 @@
 #include "core/orchestrator.h"
 #include "netsim/sim.h"
 
+namespace painter::obs {
+class TimeseriesRegistry;
+}  // namespace painter::obs
+
 namespace painter::core {
 
 struct LearningTimelineConfig {
   double start_s = 0.0;           // first round, relative to Start()
   double round_interval_s = 60.0; // spacing between advertisement rounds
+  // Optional streaming telemetry: each completed round appends one point to
+  // the `orchestrator.round.predicted_ms` and `orchestrator.round.realized_ms`
+  // event series, stamped at the round's simulator time. The registry must
+  // outlive the timeline; null records nothing.
+  obs::TimeseriesRegistry* timeseries = nullptr;
 };
 
 class LearningTimeline {

@@ -422,20 +422,36 @@ Orchestrator::IterationReport Orchestrator::RunLearningIteration(
   // predicted-vs-realized gap is the model error learning drives down.
   // These values come from the seeded simulation, so they are reproducible
   // and land in the deterministic section of the metrics export.
-  const std::string prefix =
+  //
+  // Registry growth is bounded: per-slot `iterN` gauges stop at
+  // max_iter_metric_series (historical names kept below the cap), while the
+  // rolling `last.*` family is overwritten every iteration — a run of any
+  // length leaves O(cap) gauges behind, never O(iterations).
+  const auto emit = [&](const std::string& prefix) {
+    obs::Metrics().GetGauge(prefix + "predicted_mean_ms")
+        .Set(report.predicted.mean_ms);
+    obs::Metrics().GetGauge(prefix + "realized_ms").Set(report.realized_ms);
+    obs::Metrics().GetGauge(prefix + "realized_positive_ms")
+        .Set(report.realized_positive_ms);
+    obs::Metrics().GetGauge(prefix + "prefixes_used")
+        .Set(static_cast<double>(report.prefixes_used));
+  };
+  const bool per_slot = iter < config_.max_iter_metric_series;
+  const std::string iter_prefix =
       "orchestrator.learn.iter" + std::to_string(iter) + ".";
-  obs::Metrics().GetGauge(prefix + "predicted_mean_ms")
-      .Set(report.predicted.mean_ms);
-  obs::Metrics().GetGauge(prefix + "realized_ms").Set(report.realized_ms);
-  obs::Metrics().GetGauge(prefix + "realized_positive_ms")
-      .Set(report.realized_positive_ms);
-  obs::Metrics().GetGauge(prefix + "prefixes_used")
-      .Set(static_cast<double>(report.prefixes_used));
+  if (per_slot) emit(iter_prefix);
+  emit("orchestrator.learn.last.");
+  obs::Metrics().GetGauge("orchestrator.learn.last.iteration")
+      .Set(static_cast<double>(iter));
 
   if (config_.enable_learning) Absorb(report.config, observations);
 
   // Pairwise preferences learned per round (cumulative after this absorb).
-  obs::Metrics().GetGauge(prefix + "preferences_total")
+  if (per_slot) {
+    obs::Metrics().GetGauge(iter_prefix + "preferences_total")
+        .Set(static_cast<double>(model_.PreferenceCount()));
+  }
+  obs::Metrics().GetGauge("orchestrator.learn.last.preferences_total")
       .Set(static_cast<double>(model_.PreferenceCount()));
   if (out_observations != nullptr) *out_observations = std::move(observations);
   return report;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/flight_recorder.h"
+#include "obs/timeseries.h"
 #include "util/hashmix.h"
 #include "util/rng.h"
 
@@ -33,6 +35,28 @@ void TtlCache::Start(double horizon_s) {
     if (first > horizon_us_) continue;
     sim_->ScheduleAtUs(first, [this, r]() { Refresh(r); });
   }
+}
+
+void TtlCache::Publish(std::uint64_t version) {
+  authoritative_version_ = version;
+  obs::FlightRecorder::Record(
+      sim_->NowUs(), "dnssim.ttl_cache", obs::Severity::kInfo, "publish",
+      {{"version", static_cast<double>(version)},
+       {"stale", static_cast<double>(StaleCount())}});
+}
+
+std::size_t TtlCache::StaleCount() const {
+  std::size_t stale = 0;
+  for (const std::uint64_t v : cached_version_) {
+    if (v != authoritative_version_) ++stale;
+  }
+  return stale;
+}
+
+void TtlCache::RegisterTimeseries(obs::TimeseriesRegistry& reg) const {
+  reg.RegisterSampler("dnssim.ttl_cache.stale_resolvers", [this]() {
+    return static_cast<double>(StaleCount());
+  });
 }
 
 void TtlCache::Refresh(std::uint32_t resolver) {

@@ -24,6 +24,10 @@
 
 #include "netsim/sim.h"
 
+namespace painter::obs {
+class TimeseriesRegistry;
+}  // namespace painter::obs
+
 namespace painter::dnssim {
 
 struct TtlCacheConfig {
@@ -48,8 +52,16 @@ class TtlCache {
 
   // Authoritative record update (advertisement round completed): resolvers
   // pick `version` up at their next refresh, not before. Versions must be
-  // non-decreasing; the caller owns their meaning.
-  void Publish(std::uint64_t version) { authoritative_version_ = version; }
+  // non-decreasing; the caller owns their meaning. Journaled in the flight
+  // recorder (when enabled) with the stale count at publish time.
+  void Publish(std::uint64_t version);
+
+  // Resolvers still serving an older version than the authoritative one.
+  [[nodiscard]] std::size_t StaleCount() const;
+
+  // Registers a `dnssim.ttl_cache.stale_resolvers` sampled series on `reg`.
+  // The sampler reads this cache; `reg` must not outlive it.
+  void RegisterTimeseries(obs::TimeseriesRegistry& reg) const;
 
   // The version resolver r currently serves to its clients.
   [[nodiscard]] std::uint64_t VersionOf(std::uint32_t resolver) const {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace painter::faultsim {
@@ -43,6 +44,12 @@ InvariantReport CheckTmInvariants(const FaultScenarioSpec& spec,
   const auto violate = [&](const std::string& what) {
     rep.violations.push_back(what + "  [" + ToString(plan) + "]");
     violations_counter.Add();
+    // One-file crash forensics: the trip dumps the flight-recorder journal
+    // (fault onsets, switchovers, admissions) plus a full gauge snapshot.
+    // The checker runs post-run, so the trip is stamped with the scenario
+    // end time; the violation text carries the in-run times.
+    obs::FlightRecorder::Trip(netsim::UsFromSeconds(spec.run_for_s),
+                              "faultsim.invariants", rep.violations.back());
   };
 
   std::vector<int> tunnel_pop;
@@ -173,7 +180,15 @@ InvariantReport CheckTmInvariants(const FaultScenarioSpec& spec,
                     t0, bound * 1000.0,
                     switched_at < 0.0 ? -1.0 : (switched_at - t0) * 1000.0));
       } else {
-        rep.detection_latencies_s.push_back(std::max(0.0, switched_at - t0));
+        const double latency = std::max(0.0, switched_at - t0);
+        rep.detection_latencies_s.push_back(latency);
+        rep.detections.push_back(InvariantReport::Detection{
+            .onset_s = t0,
+            .latency_s = latency,
+            .rtt_s = spec.tunnels[i].steady_delay_s > 0.0
+                         ? 2.0 * spec.tunnels[i].steady_delay_s
+                         : rtt_ms / 1000.0,
+            .tunnel = static_cast<int>(i)});
       }
 
       // 3. No sample past the bound may still show i as chosen while the

@@ -50,11 +50,26 @@ struct InvariantReport {
   // time from the onset to the edge switching away. The chaos runner
   // aggregates these into the Fig. 10 detection-latency distribution.
   std::vector<double> detection_latencies_s;
+  // The same onsets, typed: onset time, latency, and the dead tunnel's
+  // steady-state RTT, so latency can be expressed in RTTs of the path that
+  // died (the paper's unit — §5.2.3 quotes ~1.3 RTT). Parallel to
+  // detection_latencies_s, which is kept for existing consumers.
+  struct Detection {
+    double onset_s = 0.0;
+    double latency_s = 0.0;
+    double rtt_s = 0.0;  // 2 x steady one-way delay; last sampled RTT if the
+                         // base path is time-varying
+    int tunnel = -1;
+  };
+  std::vector<Detection> detections;
   [[nodiscard]] bool ok() const { return violations.empty(); }
 };
 
 // Checks all four invariants. Bumps the global `faultsim.violations`
-// counter once per violation found.
+// counter once per violation found, records each violation in the flight
+// recorder, and — when the recorder or PAINTER_POSTMORTEM_DIR is active —
+// dumps a post-mortem JSON (obs::FlightRecorder::Trip) capturing the event
+// journal and gauge snapshot that led up to the breach.
 [[nodiscard]] InvariantReport CheckTmInvariants(
     const FaultScenarioSpec& spec, const FaultPlan& plan,
     const FaultScenarioResult& result, const InvariantConfig& config = {});

@@ -1,10 +1,13 @@
 #include "faultsim/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
 #include "netsim/sim.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "tm/tm_pop.h"
 #include "util/hashmix.h"
@@ -93,6 +96,45 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioSpec& spec,
 
   if (spec.attach) spec.attach(sim, edge, tunnel_pop);
 
+  // Streaming telemetry: sampled edge state on the registry's grid. The
+  // samplers are pure reads of edge state, so they cannot perturb the run.
+  if (spec.timeseries != nullptr) {
+    spec.timeseries->RegisterSampler(
+        "tm.edge.chosen_tunnel",
+        [&edge]() { return static_cast<double>(edge.chosen()); });
+    spec.timeseries->RegisterSampler("tm.edge.tunnels_up", [&edge]() {
+      std::size_t up = 0;
+      for (std::size_t i = 0; i < edge.TunnelCount(); ++i) {
+        if (edge.TunnelRttMs(i).has_value()) ++up;
+      }
+      return static_cast<double>(up);
+    });
+    spec.timeseries->StartSampling(sim, spec.run_for_s);
+  }
+
+  // Flight-recorder journal: each plan event's onset and clear, stamped at
+  // the moment it takes effect on the timeline. Scheduled only when the
+  // recorder is on, so a disabled run's event sequence is untouched.
+  if (obs::FlightRecorder::Enabled()) {
+    for (const FaultEvent& ev : plan.events) {
+      sim.Schedule(ev.start_s, [&sim, ev]() {
+        obs::FlightRecorder::Record(
+            sim.NowUs(), "faultsim", obs::Severity::kWarn,
+            FaultTypeName(ev.type),
+            {{"target", static_cast<double>(ev.target)},
+             {"severity", ev.severity},
+             {"duration_s", ev.duration_s}});
+      });
+      if (std::isfinite(ev.end_s()) && ev.end_s() <= spec.run_for_s) {
+        sim.Schedule(ev.end_s(), [&sim, ev]() {
+          obs::FlightRecorder::Record(
+              sim.NowUs(), "faultsim", obs::Severity::kInfo, "fault_cleared",
+              {{"target", static_cast<double>(ev.target)}});
+        });
+      }
+    }
+  }
+
   for (const ScenarioFlow& flow : spec.flows) {
     sim.Schedule(flow.start_s, [&edge, flow]() {
       edge.StartFlow(flow.key, flow.packets, flow.interval_s,
@@ -111,6 +153,16 @@ FaultScenarioResult RunFaultScenario(const FaultScenarioSpec& spec,
     result.pop_data_packets.push_back(pop->stats().data_packets);
   }
   result.flow_stats = edge.flows().SortedItems();
+
+  // Switchover event series: exact failover times (not the sample grid),
+  // value = tunnel switched to. Appended post-run so it cannot interleave
+  // with the sampling chain.
+  if (spec.timeseries != nullptr) {
+    for (const tm::TmEdge::FailoverEvent& ev : result.failovers) {
+      spec.timeseries->Append("tm.edge.switchover", netsim::UsFromSeconds(ev.t),
+                              static_cast<double>(ev.to));
+    }
+  }
 
   CountInjected(injector, result);
   return result;

@@ -26,6 +26,10 @@
 #include "netsim/sim.h"
 #include "tm/tm_edge.h"
 
+namespace painter::obs {
+class TimeseriesRegistry;
+}  // namespace painter::obs
+
 namespace painter::faultsim {
 
 struct ScenarioTunnel {
@@ -65,6 +69,15 @@ struct FaultScenarioSpec {
   std::function<void(netsim::Simulator& sim, tm::TmEdge& edge,
                      const std::vector<int>& tunnel_pop)>
       attach;
+
+  // Optional streaming telemetry. When set, the scenario registers sampled
+  // series for the edge (chosen tunnel, probed-up count), appends a
+  // switchover event series after the run, and starts the registry's
+  // sampling chain on the scenario simulator for run_for_s. The registry
+  // must outlive the call; its samplers are only valid during the run. A
+  // null registry leaves the run's event sequence bit-identical (sampling
+  // events are pure reads but do occupy queue slots).
+  obs::TimeseriesRegistry* timeseries = nullptr;
 };
 
 struct FaultScenarioResult {

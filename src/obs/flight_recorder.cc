@@ -1,0 +1,224 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace painter::obs {
+namespace {
+
+struct Journal {
+  std::mutex mu;
+  std::vector<FlightRecorder::Event> ring;  // capacity-bounded
+  std::size_t capacity = 1024;
+  std::size_t head = 0;       // next write slot when the ring is full
+  bool wrapped = false;       // ring filled at least once
+  std::uint64_t recorded = 0;  // total events ever recorded
+  std::uint64_t dumps = 0;     // post-mortem sequence number
+
+  static Journal& Get() {
+    static Journal* j = new Journal();  // never destroyed, like the registry
+    return *j;
+  }
+};
+
+// The single hot-path flag: Record() bails on one relaxed load of this.
+std::atomic<bool> g_enabled{false};
+
+bool ConsultEnvOnce() {
+  static const bool enabled_by_env = [] {
+    if (const char* cap = std::getenv("PAINTER_FLIGHT_RECORDER")) {
+      const long n = std::strtol(cap, nullptr, 10);
+      FlightRecorder::Enable(n >= 1 ? static_cast<std::size_t>(n) : 1024);
+      return true;
+    }
+    return false;
+  }();
+  return enabled_by_env;
+}
+
+}  // namespace
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool FlightRecorder::Enabled() {
+  ConsultEnvOnce();
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::Enable(std::size_t capacity) {
+  Journal& j = Journal::Get();
+  std::lock_guard<std::mutex> lock(j.mu);
+  j.capacity = capacity < 1 ? 1 : capacity;
+  j.ring.clear();
+  j.ring.reserve(j.capacity);
+  j.head = 0;
+  j.wrapped = false;
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Disable() {
+  Journal& j = Journal::Get();
+  std::lock_guard<std::mutex> lock(j.mu);
+  g_enabled.store(false, std::memory_order_relaxed);
+  j.ring.clear();
+  j.head = 0;
+  j.wrapped = false;
+}
+
+void FlightRecorder::Record(std::uint64_t t_us, const char* component,
+                            Severity severity, const char* message,
+                            std::initializer_list<KV> kvs) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  Event ev;
+  ev.t_us = t_us;
+  ev.severity = severity;
+  ev.component = component;
+  ev.message = message;
+  ev.kvs.reserve(kvs.size());
+  for (const KV& kv : kvs) ev.kvs.emplace_back(kv.key, kv.value);
+
+  Journal& j = Journal::Get();
+  std::lock_guard<std::mutex> lock(j.mu);
+  if (!g_enabled.load(std::memory_order_relaxed)) return;  // Disable raced
+  ++j.recorded;
+  if (j.ring.size() < j.capacity) {
+    j.ring.push_back(std::move(ev));
+    return;
+  }
+  j.ring[j.head] = std::move(ev);
+  j.head = (j.head + 1) % j.capacity;
+  j.wrapped = true;
+}
+
+std::size_t FlightRecorder::EventCount() {
+  Journal& j = Journal::Get();
+  std::lock_guard<std::mutex> lock(j.mu);
+  return j.ring.size();
+}
+
+std::uint64_t FlightRecorder::Recorded() {
+  Journal& j = Journal::Get();
+  std::lock_guard<std::mutex> lock(j.mu);
+  return j.recorded;
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::Snapshot() {
+  Journal& j = Journal::Get();
+  std::lock_guard<std::mutex> lock(j.mu);
+  std::vector<Event> out;
+  out.reserve(j.ring.size());
+  const std::size_t start = j.wrapped ? j.head : 0;
+  for (std::size_t k = 0; k < j.ring.size(); ++k) {
+    out.push_back(j.ring[(start + k) % j.ring.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  Journal& j = Journal::Get();
+  std::lock_guard<std::mutex> lock(j.mu);
+  j.ring.clear();
+  j.head = 0;
+  j.wrapped = false;
+  j.recorded = 0;
+  j.dumps = 0;
+}
+
+void FlightRecorder::WritePostMortem(std::ostream& os,
+                                     const std::string& reason,
+                                     std::uint64_t t_us) {
+  const std::vector<Event> events = Snapshot();
+  std::uint64_t recorded = 0;
+  {
+    Journal& j = Journal::Get();
+    std::lock_guard<std::mutex> lock(j.mu);
+    recorded = j.recorded;
+  }
+  std::ostringstream body;
+  JsonWriter w{body};
+  w.BeginObject();
+  w.Key("schema");
+  w.String("painter.postmortem.v1");
+  w.Key("reason");
+  w.String(reason);
+  w.Key("t_us");
+  w.Number(t_us);
+  w.Key("events_recorded");
+  w.Number(recorded);
+  w.Key("events_retained");
+  w.Number(static_cast<std::uint64_t>(events.size()));
+  w.Key("events");
+  w.BeginArray();
+  for (const Event& ev : events) {
+    w.BeginObject();
+    w.Key("t_us");
+    w.Number(ev.t_us);
+    w.Key("severity");
+    w.String(SeverityName(ev.severity));
+    w.Key("component");
+    w.String(ev.component);
+    w.Key("message");
+    w.String(ev.message);
+    if (!ev.kvs.empty()) {
+      w.Key("kv");
+      w.BeginObject();
+      for (const auto& [key, value] : ev.kvs) {
+        w.Key(key);
+        w.Number(value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  // Full registry snapshot — every gauge the run had set at trip time, plus
+  // counters and histograms. The registry serializes itself; splice the
+  // already-serialized object in verbatim (the RunReport::ToJson technique).
+  w.Key("metrics");
+  w.Number(std::uint64_t{0});  // placeholder, replaced below
+  w.EndObject();
+  std::string out = body.str();
+  out.resize(out.size() - 2);  // drop the placeholder '0' and closing '}'
+  std::string metrics = Metrics().ToJson();
+  while (!metrics.empty() &&
+         (metrics.back() == '\n' || metrics.back() == ' ')) {
+    metrics.pop_back();
+  }
+  out += metrics;
+  out += '}';
+  os << out << '\n';
+}
+
+std::string FlightRecorder::Trip(std::uint64_t t_us, const char* component,
+                                 const std::string& reason) {
+  Record(t_us, component, Severity::kError, reason.c_str());
+  const char* dir = std::getenv("PAINTER_POSTMORTEM_DIR");
+  if (dir == nullptr && !Enabled()) return {};
+  std::uint64_t seq = 0;
+  {
+    Journal& j = Journal::Get();
+    std::lock_guard<std::mutex> lock(j.mu);
+    seq = j.dumps++;
+  }
+  std::string path = dir != nullptr ? std::string{dir} + "/" : std::string{};
+  path += "POSTMORTEM_" + std::to_string(seq) + ".json";
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return {};
+  WritePostMortem(os, reason, t_us);
+  return path;
+}
+
+}  // namespace painter::obs

@@ -4,8 +4,20 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/timeseries.h"
 
 namespace painter::obs {
+
+namespace {
+
+// The registry/timeseries serializers end with a newline; inlining into the
+// report drops it.
+std::string TrimTrailing(std::string s) {
+  while (!s.empty() && (s.back() == '\n' || s.back() == ' ')) s.pop_back();
+  return s;
+}
+
+}  // namespace
 
 void RunReport::AddConfig(std::string key, std::string value) {
   config_.push_back(ConfigEntry{std::move(key), std::move(value), 0.0, false});
@@ -24,12 +36,11 @@ void RunReport::AddValue(std::string key, double value) {
 }
 
 void RunReport::AttachMetrics(const MetricsRegistry& reg) {
-  metrics_json_ = reg.ToJson();
-  // WriteJson ends with a newline; inlining into the report drops it.
-  while (!metrics_json_.empty() &&
-         (metrics_json_.back() == '\n' || metrics_json_.back() == ' ')) {
-    metrics_json_.pop_back();
-  }
+  metrics_json_ = TrimTrailing(reg.ToJson());
+}
+
+void RunReport::AttachTimeseries(const TimeseriesRegistry& reg) {
+  timeseries_json_ = TrimTrailing(reg.ToJson());
 }
 
 std::string RunReport::ToJson() const {
@@ -73,18 +84,21 @@ std::string RunReport::ToJson() const {
     w.Number(value);
   }
   w.EndObject();
-  if (!metrics_json_.empty()) {
-    // Already-serialized JSON object: splice it in verbatim.
-    w.Key("metrics");
-    w.Number(std::uint64_t{0});  // placeholder, replaced below
-    std::string body = os.str();
-    body.resize(body.size() - 1);  // drop the placeholder '0'
-    body += metrics_json_;
-    body += '}';
-    return body;
-  }
-  w.EndObject();
-  return os.str();
+  // Already-serialized sections (metrics snapshot, timeseries block) are
+  // spliced in verbatim after the writer-built prefix; "schema" guarantees
+  // the object is non-empty, so the leading comma is always correct.
+  std::string body = os.str();
+  const auto splice = [&body](const char* key, const std::string& raw) {
+    if (raw.empty()) return;
+    body += ",\"";
+    body += key;
+    body += "\":";
+    body += raw;
+  };
+  splice("timeseries", timeseries_json_);
+  splice("metrics", metrics_json_);
+  body += '}';
+  return body;
 }
 
 void RunReport::Write(const std::string& path) const {

@@ -33,6 +33,8 @@
 
 namespace painter::obs {
 
+class TimeseriesRegistry;
+
 class RunReport {
  public:
   explicit RunReport(std::string name) : name_(std::move(name)) {}
@@ -49,6 +51,11 @@ class RunReport {
 
   // Embeds a snapshot of `reg` under "metrics".
   void AttachMetrics(const MetricsRegistry& reg = Metrics());
+
+  // Embeds a `painter.timeseries.v1` block (timeseries.h) under
+  // "timeseries" — the when-on-the-sim-clock record to go with the metrics
+  // section's end-of-run totals.
+  void AttachTimeseries(const TimeseriesRegistry& reg);
 
   // RAII phase timer: adds a phase entry with the scope's wall time.
   class ScopedPhase {
@@ -90,7 +97,8 @@ class RunReport {
   std::vector<ConfigEntry> config_;
   std::vector<std::pair<std::string, double>> phases_;  // (name, wall_ms)
   std::vector<std::pair<std::string, double>> values_;
-  std::string metrics_json_;  // empty = no metrics section
+  std::string metrics_json_;     // empty = no metrics section
+  std::string timeseries_json_;  // empty = no timeseries section
 };
 
 // Zeroes every wall-clock-derived value in a JSON document produced by this

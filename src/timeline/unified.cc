@@ -16,6 +16,7 @@
 #include "measure/latency.h"
 #include "netsim/path.h"
 #include "netsim/sim.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "tm/tm_edge.h"
 #include "tm/tm_pop.h"
@@ -172,6 +173,7 @@ UnifiedTimelineResult RunUnifiedTimeline(const UnifiedTimelineConfig& config) {
   core::LearningTimelineConfig ltcfg;
   ltcfg.start_s = config.round_start_s;
   ltcfg.round_interval_s = config.round_interval_s;
+  ltcfg.timeseries = config.timeseries;
   core::LearningTimeline rounds{
       sim, orchestrator, env, ltcfg,
       [&](std::size_t, const core::Orchestrator::IterationReport& report,
@@ -211,6 +213,7 @@ UnifiedTimelineResult RunUnifiedTimeline(const UnifiedTimelineConfig& config) {
   const workload::LoadAwarePolicy policy;
   workload::EngineConfig wcfg;
   wcfg.tick_s = config.tick_s;
+  wcfg.timeseries = config.timeseries;
   wcfg.on_arrival = [&](const workload::FlowEvent& ev) {
     const double bytes = static_cast<double>(ev.bytes);
     const std::size_t bucket = std::min(
@@ -241,6 +244,10 @@ UnifiedTimelineResult RunUnifiedTimeline(const UnifiedTimelineConfig& config) {
   engine.Start();
   ttl.Start(horizon_s);
   rounds.Start();
+  if (config.timeseries != nullptr) {
+    ttl.RegisterTimeseries(*config.timeseries);
+    config.timeseries->StartSampling(sim, horizon_s);
+  }
   sim.Run(horizon_s);
 
   // --- Reduce.

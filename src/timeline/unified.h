@@ -31,6 +31,10 @@
 #include "dnssim/ttl_cache.h"
 #include "workload/engine.h"
 
+namespace painter::obs {
+class TimeseriesRegistry;
+}  // namespace painter::obs
+
 namespace painter::timeline {
 
 struct UnifiedTimelineConfig {
@@ -67,6 +71,13 @@ struct UnifiedTimelineConfig {
   // Deterministic fault plan injected on the TM tunnels, interleaved with
   // everything else on the same queue.
   bool inject_faults = true;
+
+  // Optional streaming telemetry for the whole run: engine occupancy and
+  // utilization samplers, TTL staleness sampler, per-round
+  // predicted/realized event series, sampled on the registry's grid for the
+  // run's horizon. The registry must outlive the call. Null records nothing
+  // and leaves the result byte-identical.
+  obs::TimeseriesRegistry* timeseries = nullptr;
 };
 
 struct UnifiedTimelineResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace painter::tm {
@@ -152,6 +153,10 @@ void TmEdge::OnProbeTimeout(std::size_t i, std::uint64_t probe_id) {
   if (tun.up) {
     tun.up = false;
     TmMetrics::Get().tunnel_down_events.Add();
+    obs::FlightRecorder::Record(
+        sim_->NowUs(), "tm.edge", obs::Severity::kWarn, "tunnel_down",
+        {{"tunnel", static_cast<double>(i)},
+         {"was_chosen", chosen_ == static_cast<int>(i) ? 1.0 : 0.0}});
     if (chosen_ == static_cast<int>(i)) Reselect();
   }
 }
@@ -176,6 +181,10 @@ void TmEdge::Reselect() {
     if (tunnels_[chosen_].rtt_ewma_s - best_rtt < margin_s) return;
   }
   TmMetrics::Get().switchovers.Add();
+  obs::FlightRecorder::Record(sim_->NowUs(), "tm.edge", obs::Severity::kInfo,
+                              "switchover",
+                              {{"from", static_cast<double>(chosen_)},
+                               {"to", static_cast<double>(best)}});
   failovers_.push_back(FailoverEvent{sim_->Now(), chosen_, best});
   chosen_ = best;
 }

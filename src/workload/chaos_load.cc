@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "faultsim/fault_plan.h"
+#include "obs/timeseries.h"
 #include "util/hashmix.h"
 
 namespace painter::workload {
@@ -28,6 +29,7 @@ ChaosLoadResult RunChaosUnderLoad(std::uint64_t seed,
   tc.seed = util::MixSeed(seed, 0x712ACEu);
   tc.duration_s = spec.run_for_s;
   tc.mean_flows_per_s = config.mean_flows_per_s;
+  tc.num_threads = config.num_threads;
   // Flow lifetimes comparable to the fault windows, so outages hit a busy
   // table and expiry churns during the run.
   tc.size_min_bytes = 5.0e3;
@@ -38,7 +40,10 @@ ChaosLoadResult RunChaosUnderLoad(std::uint64_t seed,
       std::vector<double>(spec.pop_names.size(), config.pop_capacity_bps)};
   const LoadAwarePolicy policy{config.utilization_threshold};
 
+  spec.timeseries = config.timeseries;
+
   EngineConfig ecfg = config.engine;
+  ecfg.timeseries = config.timeseries;
   ecfg.place_edge_flows = true;
   ecfg.flow_bytes_per_s = 1.0e3;  // B/s: a 5 kB..5 MB flow lives 5..600 s
   ecfg.min_duration_s = 2.0;
@@ -57,6 +62,13 @@ ChaosLoadResult RunChaosUnderLoad(std::uint64_t seed,
   ChaosLoadResult out;
   out.invariants = faultsim::CheckTmInvariants(spec, plan, result);
   out.trace_events = trace.events.size();
+  if (config.timeseries != nullptr) {
+    for (const auto& d : out.invariants.detections) {
+      config.timeseries->Append("faultsim.detection_latency_rtts",
+                                netsim::UsFromSeconds(d.onset_s),
+                                d.rtt_s > 0.0 ? d.latency_s / d.rtt_s : 0.0);
+    }
+  }
   if (engine.has_value()) {
     out.load_stats = engine->stats();
     if (out.load_stats.down_picks > 0) {

@@ -34,7 +34,16 @@ struct ChaosLoadConfig {
   // Small PoP capacities so the load-aware threshold actually binds.
   double pop_capacity_bps = 2.0e6;
   double utilization_threshold = 0.85;
+  // Worker threads for trace generation only (thread-count-invariant by
+  // contract); the DES itself is single-threaded. Results are identical at
+  // any value — the under-load byte-identity test pins this.
+  std::size_t num_threads = 1;
   EngineConfig engine;
+  // Optional streaming telemetry: threaded to both the scenario (edge
+  // samplers, switchover events) and the engine (occupancy, utilization),
+  // plus a `faultsim.detection_latency_rtts` event series — one point per
+  // bounded detection, stamped at the fault onset. Null disables all of it.
+  obs::TimeseriesRegistry* timeseries = nullptr;
 };
 
 struct ChaosLoadResult {

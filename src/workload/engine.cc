@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace painter::workload {
 namespace {
@@ -91,6 +94,19 @@ void WorkloadEngine::Start() {
   // accumulating relative delays.
   start_us_ = sim_->NowUs();
   sim_->ScheduleAtUs(start_us_ + tick_us_, [this]() { Tick(); });
+
+  // Streaming telemetry: occupancy and per-PoP utilization, sampled on the
+  // registry's own grid. Pure reads — the samplers never touch engine state.
+  if (config_.timeseries != nullptr) {
+    config_.timeseries->RegisterSampler(
+        "workload.engine.concurrent_flows",
+        [this]() { return static_cast<double>(store_.size()); });
+    for (std::size_t p = 0; p < load_->PopCount(); ++p) {
+      config_.timeseries->RegisterSampler(
+          "workload.load.pop" + std::to_string(p) + ".utilization",
+          [this, p]() { return load_->Utilization(static_cast<int>(p)); });
+    }
+  }
 }
 
 std::size_t WorkloadEngine::BucketOf(std::uint64_t expiry_us) const {
@@ -114,6 +130,10 @@ void WorkloadEngine::Admit(const FlowEvent& event,
     // chaos sweep turns a non-zero count into a violation.
     ++stats_.down_picks;
     EngineMetrics::Get().down_picks.Add();
+    obs::FlightRecorder::Record(
+        sim_->NowUs(), "workload.engine", obs::Severity::kError, "down_pick",
+        {{"tunnel", static_cast<double>(pick)},
+         {"concurrent", static_cast<double>(store_.size())}});
     ++stats_.rejected;
     return;
   }

@@ -45,6 +45,10 @@
 #include "workload/load.h"
 #include "workload/trace.h"
 
+namespace painter::obs {
+class TimeseriesRegistry;
+}  // namespace painter::obs
+
 namespace painter::workload {
 
 // A pinned workload flow. The destination is immutable after admission.
@@ -72,6 +76,11 @@ struct EngineConfig {
   // deterministic and must not mutate the engine or the edge.
   std::function<void(const FlowEvent&)> on_arrival;
   FlowStoreConfig store;
+  // Optional streaming telemetry. When set, Start() registers sampled series
+  // for flow-table occupancy and per-PoP utilization on the registry's grid.
+  // Samplers are pure reads of engine/load state; the registry must outlive
+  // the run. Null leaves the tick sequence untouched.
+  obs::TimeseriesRegistry* timeseries = nullptr;
 };
 
 class WorkloadEngine {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # The full local CI pipeline, in escalating order of cost:
 #
+#   0. lint     — tools/metrics_lint.py: metric-name literals must follow
+#                 the registry naming convention (free, fails fast).
 #   1. tier1    — the deterministic correctness gate (ctest -L tier1,
 #                 including the slow property suites): must stay green on
 #                 every change.
@@ -26,6 +28,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
+
+echo "=== ci 0/6: metrics naming lint ==="
+python3 tools/metrics_lint.py
 
 echo "=== ci 1/6: tier1 correctness gate ==="
 cmake -B "$BUILD_DIR" -S . >/dev/null

@@ -4,10 +4,11 @@
 # test selection, then unions executed lines across translation units with
 # tools/coverage_summary.py.
 #
-# Enforced floor: every file under src/tm/ and src/workload/ must be at
-# least 70% line-covered (the Traffic Manager and the workload engine are
-# the layers the fault-injection work leans on hardest); the script exits
-# non-zero otherwise.
+# Enforced floor: every file under src/tm/, src/workload/, and src/obs/
+# must be at least 70% line-covered (the Traffic Manager and workload
+# engine are the layers the fault-injection work leans on hardest; obs is
+# the telemetry every run report and post-mortem depends on); the script
+# exits non-zero otherwise.
 #
 # Usage: tools/coverage.sh [build-dir] [label-regex]
 #        (defaults: build-cov, 'tier1|property')
@@ -30,5 +31,6 @@ ctest --test-dir "$BUILD_DIR" -L "$LABELS" --output-on-failure >/dev/null
 
 python3 tools/coverage_summary.py "$BUILD_DIR" \
   --min-file 70 --enforce-dir src/tm --enforce-dir src/workload \
+  --enforce-dir src/obs \
   --output "$BUILD_DIR/coverage_report.txt"
 echo "report written to $BUILD_DIR/coverage_report.txt"

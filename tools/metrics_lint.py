@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Lint metric-name string literals against the registry naming convention.
+
+Scans C++ sources for the name literal passed to obs::Metrics()'s
+GetCounter / GetGauge / GetHistogram and enforces:
+
+  - lowercase dot-separated paths: segments of [a-z0-9_]+, at least two
+    segments ("component.metric"); a literal ending in '.' is a prefix that
+    gets concatenated at runtime (e.g. "faultsim.injected.") and is checked
+    on the segments it already has;
+  - unit suffixes must come from the known set (_ms, _us, _s, _km, _bps,
+    _bytes, _rtts, _frac) — misspelled unit-like suffixes (_msec, _sec,
+    _secs, _millis, _usec, _percent, ...) are flagged so one name never
+    ships two spellings of the same unit.
+
+Names built entirely at runtime (variables, concatenation where the literal
+is not the call's first token) are out of scope — the convention is enforced
+where it can be read. tests/ is exempt: fixtures register throwaway names.
+
+Usage: tools/metrics_lint.py [root-dir]   (default: repo root, lints
+       src/ and bench/)
+Exit status: number of offending literals (0 = clean).
+"""
+
+import pathlib
+import re
+import sys
+
+CALL_RE = re.compile(
+    r'Get(?:Counter|Gauge|Histogram)\(\s*(?:std::string\{)?"([^"]*)"')
+SEGMENT_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+KNOWN_UNITS = {"ms", "us", "s", "km", "bps", "bytes", "rtts", "frac"}
+# Unit-like suffixes that are almost certainly a misspelling of a known
+# unit. Anything else after '_' is treated as a word, not a unit.
+BAD_UNITS = {
+    "msec": "ms", "msecs": "ms", "millis": "ms", "milliseconds": "ms",
+    "sec": "s", "secs": "s", "seconds": "s",
+    "usec": "us", "usecs": "us", "micros": "us", "microseconds": "us",
+    "ns": "us", "nsec": "us", "nanos": "us",
+    "mins": "s", "minutes": "s", "hours": "s",
+    "byte": "bytes", "kb": "bytes", "mb": "bytes", "gb": "bytes",
+    "kbps": "bps", "mbps": "bps", "gbps": "bps",
+    "pct": "frac", "percent": "frac", "ratio": "frac",
+    "meters": "km", "miles": "km", "rtt": "rtts",
+}
+
+
+def lint_name(name: str) -> str | None:
+    """Returns the problem with `name`, or None if it is conventional."""
+    is_prefix = name.endswith(".")
+    if is_prefix:
+        name = name[:-1]
+    segments = name.split(".")
+    if any(not SEGMENT_RE.match(seg) for seg in segments):
+        return "segments must match [a-z][a-z0-9_]* separated by dots"
+    if len(segments) < 2 and not is_prefix:
+        return "need at least two segments (component.metric)"
+    if is_prefix:
+        return None  # runtime suffix carries the metric leaf
+    tail = segments[-1].rsplit("_", 1)
+    if len(tail) == 2 and tail[1] in BAD_UNITS:
+        return (f"unknown unit suffix '_{tail[1]}' "
+                f"(use '_{BAD_UNITS[tail[1]]}'; known: "
+                + ", ".join(sorted(f"_{u}" for u in KNOWN_UNITS)) + ")")
+    return None
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent)
+    errors = 0
+    for subdir in ("src", "bench"):
+        base = root / subdir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.cc")) + sorted(base.rglob("*.h")):
+            text = path.read_text(encoding="utf-8")
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for match in CALL_RE.finditer(line):
+                    problem = lint_name(match.group(1))
+                    if problem is not None:
+                        errors += 1
+                        rel = path.relative_to(root)
+                        print(f"{rel}:{lineno}: metric '{match.group(1)}': "
+                              f"{problem}")
+    if errors:
+        print(f"metrics_lint: {errors} offending literal(s).")
+    else:
+        print("metrics_lint: all metric names conventional.")
+    return errors
+
+
+if __name__ == "__main__":
+    sys.exit(main())

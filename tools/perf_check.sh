@@ -15,6 +15,10 @@
 # 4. Builds and runs bench/unified_timeline at full scale (its own gates
 #    require >= 2 advertisement rounds on the shared clock and zero tick
 #    skew) and diffs its report against the timeline baseline.
+# 5. Builds and runs bench/chaos_runner --under_load (detection-latency SLO
+#    under a full flow table; the runner exits non-zero on an invariant
+#    violation or a p99 SLO breach) and diffs its report against the
+#    chaos-under-load baseline.
 #
 # If a baseline doesn't exist yet, the fresh report is installed as the
 # baseline (commit it) and that gate succeeds.
@@ -30,6 +34,7 @@ LABELS="${3:-tier1}"
 BASELINE=bench/results/BENCH_micro_orchestrator.baseline.json
 WORKLOAD_BASELINE=bench/results/BENCH_workload_throughput.baseline.json
 TIMELINE_BASELINE=bench/results/BENCH_unified_timeline.baseline.json
+CHAOS_BASELINE=bench/results/BENCH_chaos_under_load.baseline.json
 REPORT_DIR="$BUILD_DIR/bench_reports"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
@@ -82,9 +87,27 @@ if [[ ! -f "$TIMELINE_BASELINE" ]]; then
   cp "$TIMELINE_REPORT" "$TIMELINE_BASELINE"
   echo "No timeline baseline; installed $TIMELINE_REPORT as" \
        "$TIMELINE_BASELINE — commit it."
+else
+  tools/bench_compare.py "$TIMELINE_BASELINE" "$TIMELINE_REPORT" \
+    --tolerance "$TOLERANCE"
+  echo "Perf check passed against $TIMELINE_BASELINE."
+fi
+
+# --- Chaos-under-load gate: detection-latency SLO + perf trajectory. ---
+# The runner itself asserts the SLO in its exit status (invariant violations
+# or loaded p99 > 8 RTTs fail here, not just drift vs the baseline).
+cmake --build "$BUILD_DIR" -j --target chaos_runner
+PAINTER_REPORT_DIR="$REPORT_DIR" \
+  "$BUILD_DIR"/bench/chaos_runner --under_load --seeds 10
+CHAOS_REPORT="$REPORT_DIR/BENCH_chaos_under_load.json"
+
+if [[ ! -f "$CHAOS_BASELINE" ]]; then
+  cp "$CHAOS_REPORT" "$CHAOS_BASELINE"
+  echo "No chaos-under-load baseline; installed $CHAOS_REPORT as" \
+       "$CHAOS_BASELINE — commit it."
   exit 0
 fi
 
-tools/bench_compare.py "$TIMELINE_BASELINE" "$TIMELINE_REPORT" \
+tools/bench_compare.py "$CHAOS_BASELINE" "$CHAOS_REPORT" \
   --tolerance "$TOLERANCE"
-echo "Perf check passed against $TIMELINE_BASELINE."
+echo "Perf check passed against $CHAOS_BASELINE."
